@@ -1,0 +1,78 @@
+"""Micro-benchmarks: real compute throughput of the core kernels.
+
+Unlike the experiment benches (one expensive round each), these use
+pytest-benchmark properly — many rounds over hot loops — and guard the
+performance envelope the search algorithms depend on: the analytical
+models must stay in the sub-millisecond regime (they are called hundreds
+of thousands of times per experiment), the CA simulator in the
+tens-of-milliseconds regime, and a GP fit on a typical training-set size
+well under a second.
+"""
+
+import numpy as np
+import pytest
+
+from repro.camodel.ascend_sim import simulate_layer
+from repro.camodel.mapping import AscendMapping
+from repro.costmodel.maestro import analyze_gemm
+from repro.costmodel.timeloop import analyze_gemm_loopnest
+from repro.hw import SpatialHWConfig, default_ascend_config
+from repro.mapping import GemmMapping
+from repro.optim.gp import GaussianProcess
+from repro.optim.hypervolume import hypervolume
+from repro.workloads.layers import GemmShape
+
+HW = SpatialHWConfig(
+    pe_x=12, pe_y=12, l1_bytes=6144, l2_kb=512, noc_bw=128, dataflow="ws"
+)
+SHAPE = GemmShape(m=256, n=3136, k=576)
+MAPPING = GemmMapping(tile_m=64, tile_n=56, tile_k=64)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_speed_analytical_maestro(benchmark):
+    result = benchmark(analyze_gemm, HW, MAPPING, SHAPE)
+    assert result.feasible
+    assert benchmark.stats["mean"] < 0.005  # sub-5ms per query
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_speed_analytical_timeloop(benchmark):
+    result = benchmark(analyze_gemm_loopnest, HW, MAPPING, SHAPE)
+    assert result.feasible
+    assert benchmark.stats["mean"] < 0.005
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_speed_camodel(benchmark):
+    hw = default_ascend_config()
+    mapping = AscendMapping(tile_m=32, tile_n=128, tile_k=64)
+    shape = GemmShape(m=64, n=4096, k=128)
+    result = benchmark(simulate_layer, hw, mapping, shape)
+    assert result.feasible
+    # cycle-level simulation is orders of magnitude slower than analytical,
+    # but must stay usable (< 100 ms per layer query)
+    assert benchmark.stats["mean"] < 0.1
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_speed_gp_fit(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 1, (60, 6))
+    y = np.sin(4 * x[:, 0]) + x[:, 1] ** 2
+
+    def fit():
+        return GaussianProcess().fit(x, y, num_restarts=1)
+
+    gp = benchmark(fit)
+    assert gp.num_observations == 60
+    assert benchmark.stats["mean"] < 1.0
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_speed_hypervolume_3d(benchmark):
+    rng = np.random.default_rng(1)
+    points = rng.uniform(0, 1, (40, 3))
+    value = benchmark(hypervolume, points, [1.1, 1.1, 1.1])
+    assert value > 0
+    assert benchmark.stats["mean"] < 0.5

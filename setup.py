@@ -1,0 +1,9 @@
+"""Setup shim for environments lacking the `wheel` package.
+
+`pip install -e .` with modern editable mode needs bdist_wheel; this shim
+lets legacy editable installs (and `python setup.py develop`) work offline.
+"""
+
+from setuptools import setup
+
+setup()

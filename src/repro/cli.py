@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+* ``networks`` — list the registered workloads with size summaries.
+* ``run`` — one co-search cell (method x scenario x workload) and print
+  the Pareto front + selected design.
+* ``table`` — regenerate Table 1 (edge) or Table 2 (cloud).
+* ``fig`` — regenerate one of the paper's figures (7-11) as JSON.
+* ``serve`` — expose a PPA estimation engine as the Section 3.5 REST
+  service (for master-slave deployments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    METHODS,
+    format_table,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_method,
+    run_table,
+)
+from repro.workloads import TABLE12_NETWORKS, available_networks, get_network
+
+
+def _cmd_networks(_args) -> int:
+    print(f"{'name':<20s}{'family':<14s}{'year':<6s}"
+          f"{'layers':<8s}{'GMACs':>8s}")
+    for name in available_networks():
+        network = get_network(name)
+        print(
+            f"{name:<20s}{network.family:<14s}{network.year:<6d}"
+            f"{network.num_layers:<8d}{network.total_macs / 1e9:8.2f}"
+        )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = run_method(
+        args.method, args.scenario, args.network, args.preset, seed=args.seed
+    )
+    print(
+        f"{args.method} on {args.network} ({args.scenario}): "
+        f"{result.total_hw_evaluated} hardware evaluated, "
+        f"{result.total_time_h:.2f} simulated hours"
+    )
+    print(f"Pareto front ({len(result.pareto)} designs):")
+    for design, point in zip(result.pareto.items, result.pareto.points):
+        print(
+            f"  L={point[0] * 1e3:10.3f} ms  P={point[1] * 1e3:8.1f} mW  "
+            f"A={point[2]:6.2f} mm2   {design.hw}"
+        )
+    best = result.best_design()
+    if best is not None:
+        print(f"Selected (min-Euclidean): {best.hw}")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    record = run_table(args.scenario, list(args.networks), args.preset, seed=args.seed)
+    print(format_table(record))
+    if args.json:
+        _write_json(args.json, record)
+    return 0
+
+
+_FIG_RUNNERS = {
+    "7": lambda args: run_fig7(args.scenario, list(args.networks), args.preset, seed=args.seed),
+    "8": lambda args: run_fig8(args.preset, seed=args.seed),
+    "9": lambda args: run_fig9(args.preset, seed=args.seed),
+    "10": lambda args: run_fig10(args.preset, seed=args.seed),
+    "11": lambda args: run_fig11(args.preset, seed=args.seed),
+}
+
+
+def _cmd_fig(args) -> int:
+    record = _FIG_RUNNERS[args.number](args)
+    payload = record.to_json()
+    if args.json:
+        _write_json(args.json, record)
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.camodel import AscendCAEngine
+    from repro.costmodel import MaestroEngine
+    from repro.costmodel.service import PPAServiceServer
+
+    network = get_network(args.network)
+    if args.engine == "maestro":
+        engine = MaestroEngine(network)
+    else:
+        engine = AscendCAEngine(network, noise_fraction=0.08)
+    server = PPAServiceServer(engine, host=args.host, port=args.port)
+    server.start()
+    print(f"PPA service ({args.engine}, workload {args.network}) at {server.url}")
+    print("Ctrl-C to stop.")
+    try:
+        import time
+
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    import pathlib
+
+    from repro.experiments.paper_runner import run_everything
+
+    summary = run_everything(
+        preset=args.preset,
+        seed=args.seed,
+        results_dir=pathlib.Path(args.results_dir),
+        only=args.only,
+        progress=print,
+    )
+    print(f"done: {len(summary.children)} experiments at preset {args.preset}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import pathlib
+
+    from repro.experiments.reporting import generate_report
+
+    markdown = generate_report(pathlib.Path(args.results_dir))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.out}")
+    else:
+        print(markdown)
+    return 0
+
+
+def _write_json(path: str, record) -> None:
+    with open(path, "w") as handle:
+        handle.write(record.to_json())
+    print(f"wrote {path}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with every sub-command."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="UNICO reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("networks", help="list registered workloads").set_defaults(
+        fn=_cmd_networks
+    )
+
+    run_parser = sub.add_parser("run", help="run one co-search cell")
+    run_parser.add_argument("method", choices=METHODS)
+    run_parser.add_argument("network")
+    run_parser.add_argument("--scenario", default="edge",
+                            choices=("edge", "cloud", "ascend"))
+    run_parser.add_argument("--preset", default="smoke")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.set_defaults(fn=_cmd_run)
+
+    table_parser = sub.add_parser("table", help="regenerate Table 1/2")
+    table_parser.add_argument("scenario", choices=("edge", "cloud"))
+    table_parser.add_argument("--networks", nargs="+", default=list(TABLE12_NETWORKS))
+    table_parser.add_argument("--preset", default="smoke")
+    table_parser.add_argument("--seed", type=int, default=0)
+    table_parser.add_argument("--json", default=None, help="write record JSON here")
+    table_parser.set_defaults(fn=_cmd_table)
+
+    fig_parser = sub.add_parser("fig", help="regenerate a figure (7-11)")
+    fig_parser.add_argument("number", choices=sorted(_FIG_RUNNERS))
+    fig_parser.add_argument("--scenario", default="edge", choices=("edge", "cloud"))
+    fig_parser.add_argument("--networks", nargs="+", default=list(TABLE12_NETWORKS))
+    fig_parser.add_argument("--preset", default="smoke")
+    fig_parser.add_argument("--seed", type=int, default=0)
+    fig_parser.add_argument("--json", default=None, help="write record JSON here")
+    fig_parser.set_defaults(fn=_cmd_fig)
+
+    reproduce_parser = sub.add_parser(
+        "reproduce", help="run every table/figure at a preset"
+    )
+    reproduce_parser.add_argument("--preset", default="smoke")
+    reproduce_parser.add_argument("--seed", type=int, default=0)
+    reproduce_parser.add_argument(
+        "--results-dir", default="benchmarks/results", help="where records go"
+    )
+    reproduce_parser.add_argument(
+        "--only", nargs="+", default=None, help="subset of experiment names"
+    )
+    reproduce_parser.set_defaults(fn=_cmd_reproduce)
+
+    report_parser = sub.add_parser(
+        "report", help="render saved benchmark records as markdown"
+    )
+    report_parser.add_argument(
+        "--results-dir", default="benchmarks/results", help="record directory"
+    )
+    report_parser.add_argument("--out", default=None, help="write markdown here")
+    report_parser.set_defaults(fn=_cmd_report)
+
+    serve_parser = sub.add_parser("serve", help="serve a PPA engine over HTTP")
+    serve_parser.add_argument("network")
+    serve_parser.add_argument("--engine", default="maestro",
+                              choices=("maestro", "ascend"))
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=0)
+    serve_parser.set_defaults(fn=_cmd_serve)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Baseline co-optimizers UNICO is compared against (Section 4.2).
+
+* :class:`HascoBaseline` — single-point BO, full SW budget per candidate
+  ("ChampionUpdate without SH"),
+* :class:`NSGA2Codesign` — evolutionary multi-objective co-search,
+* :class:`MobohbBaseline` — multi-objective BOHB (Hyperband + model),
+* :class:`RandomCodesign` — uniform-random sanity floor.
+"""
+
+from repro.core.baselines.hasco import HascoBaseline, HascoConfig
+from repro.core.baselines.mobohb import MobohbBaseline, MobohbConfig
+from repro.core.baselines.nsga2_codesign import NSGA2Codesign, NSGA2CodesignConfig
+from repro.core.baselines.random_codesign import RandomCodesign, RandomCodesignConfig
+
+__all__ = [
+    "HascoBaseline",
+    "HascoConfig",
+    "MobohbBaseline",
+    "MobohbConfig",
+    "NSGA2Codesign",
+    "NSGA2CodesignConfig",
+    "RandomCodesign",
+    "RandomCodesignConfig",
+]

@@ -1,0 +1,153 @@
+"""Inner-level evaluation: SW mapping search -> objective vector Y.
+
+The bridge between the mapping-search substrate and the co-optimizers:
+
+* :class:`SWSearchTrial` wraps an :class:`AnytimeMappingSearch` as the
+  resumable :class:`~repro.optim.sh.Trial` successive halving consumes, and
+  tracks how many PPA-engine queries (and therefore how much modeled
+  wall-clock) the trial consumed.
+* :func:`make_search_tool` instantiates the configured tool by name.
+* :func:`assemble_objectives` turns a finished trial into the MOBO vector
+  ``Y = (latency, power, area[, sensitivity])``, applying the scenario's
+  power/area caps as feasibility filters (a capped design evaluates to an
+  all-infinite Y, which every optimizer treats as dominated/infeasible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Type
+
+import numpy as np
+
+from repro.core.robustness import RobustnessResult, robustness_metric
+from repro.costmodel.engine import PPAEngine
+from repro.costmodel.results import NetworkPPA
+from repro.errors import ConfigurationError
+from repro.mapping.base import AnytimeMappingSearch
+from repro.mapping.cosa import CosaMapper
+from repro.mapping.flextensor import FlexTensorSearch
+from repro.mapping.fusion import DepthFirstFusionSearch
+from repro.mapping.gamma import GammaSearch
+from repro.mapping.random_search import RandomMappingSearch
+from repro.workloads.network import Network
+
+SEARCH_TOOLS: Dict[str, Type[AnytimeMappingSearch]] = {
+    "flextensor": FlexTensorSearch,
+    "gamma": GammaSearch,
+    "random": RandomMappingSearch,
+    "fusion": DepthFirstFusionSearch,
+    "cosa": CosaMapper,
+}
+
+
+def make_search_tool(
+    tool: str,
+    network: Network,
+    hw,
+    engine: PPAEngine,
+    objective: str = "latency",
+    seed=None,
+) -> AnytimeMappingSearch:
+    """Instantiate a registered SW mapping search tool by name."""
+    if tool not in SEARCH_TOOLS:
+        raise ConfigurationError(
+            f"unknown search tool {tool!r}; available: {sorted(SEARCH_TOOLS)}"
+        )
+    return SEARCH_TOOLS[tool](network, hw, engine, objective=objective, seed=seed)
+
+
+class SWSearchTrial:
+    """A resumable SW-mapping-search job for one hardware configuration."""
+
+    def __init__(
+        self,
+        hw,
+        network: Network,
+        engine: PPAEngine,
+        tool: str = "flextensor",
+        objective: str = "latency",
+        seed=None,
+    ):
+        self.hw = hw
+        self.engine = engine
+        queries_before = engine.num_queries
+        self.search = make_search_tool(tool, network, hw, engine, objective, seed)
+        #: engine queries consumed (initialization included)
+        self.queries_spent = engine.num_queries - queries_before
+
+    def run(self, additional_budget: int) -> "SWSearchTrial":
+        queries_before = self.engine.num_queries
+        self.search.run(additional_budget)
+        self.queries_spent += self.engine.num_queries - queries_before
+        return self
+
+    def best_curve(self) -> np.ndarray:
+        return self.search.best_curve()
+
+    @property
+    def spent_budget(self) -> int:
+        return self.search.spent_budget
+
+    @property
+    def best_ppa(self) -> NetworkPPA:
+        return self.search.best_ppa
+
+    def robustness(self, alpha: float = 0.05) -> RobustnessResult:
+        return robustness_metric(self.search.history, alpha=alpha)
+
+
+@dataclass(frozen=True)
+class HWEvaluation:
+    """Outcome of evaluating one hardware configuration."""
+
+    hw: object
+    objectives: np.ndarray  # (latency, power, area[, sensitivity])
+    ppa: NetworkPPA
+    robustness: RobustnessResult
+    budget_spent: int
+    feasible: bool
+
+    @property
+    def ppa_vector(self) -> np.ndarray:
+        """(latency, power, area) regardless of the robustness objective."""
+        return np.array([self.ppa.latency_s, self.ppa.power_w, self.ppa.area_mm2])
+
+
+def assemble_objectives(
+    trial: SWSearchTrial,
+    include_robustness: bool = True,
+    power_cap_w: Optional[float] = None,
+    area_cap_mm2: Optional[float] = None,
+    robustness_alpha: float = 0.05,
+    constraints=None,
+) -> HWEvaluation:
+    """Build ``Y`` for a hardware configuration from its finished trial.
+
+    Feasibility combines the scalar caps (kept for convenience) with any
+    extra :class:`~repro.hw.constraints.ConstraintSet`.
+    """
+    from repro.hw.constraints import ConstraintSet
+
+    ppa = trial.best_ppa
+    robustness = trial.robustness(alpha=robustness_alpha)
+    rules = ConstraintSet.from_caps(power_cap_w, area_cap_mm2)
+    feasible = ppa.feasible and rules.satisfied(trial.hw, ppa)
+    if feasible and constraints is not None:
+        feasible = constraints.satisfied(trial.hw, ppa)
+    num_objectives = 4 if include_robustness else 3
+    if not feasible:
+        objectives = np.full(num_objectives, np.inf)
+    else:
+        base = [ppa.latency_s, ppa.power_w, ppa.area_mm2]
+        if include_robustness:
+            base.append(robustness.r_value)
+        objectives = np.array(base, dtype=float)
+    return HWEvaluation(
+        hw=trial.hw,
+        objectives=objectives,
+        ppa=ppa,
+        robustness=robustness,
+        budget_spent=trial.spent_budget,
+        feasible=feasible,
+    )

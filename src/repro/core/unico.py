@@ -1,0 +1,250 @@
+"""UNICO — Algorithm 1: unified, robust HW-SW co-optimization.
+
+One MOBO iteration:
+
+1. **Sample** a batch of N hardware configurations from the surrogate-guided
+   qParEGO sampler (random until enough high-fidelity data exists).
+2. **Search** software mappings for the batch with modified successive
+   halving: every candidate gets the first-round budget; survivors (top-k by
+   terminal value plus top-p steep convergers by AUC) continue with doubled
+   budget until ``b_max``.  Jobs within a round run in parallel on
+   ``workers`` machines (simulated-clock makespan accounting).
+3. **Assess** every batch member: ``Y = (latency, power, area, sensitivity)``
+   where sensitivity is the robustness metric R of Section 3.4.
+4. **Update** the surrogate training set through the high-fidelity UUL rule
+   (or the champion rule, for ablations) and the PPA Pareto front.
+
+Stopping: ``max_iterations`` MOBO trials or a simulated wall-clock budget,
+whichever comes first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import CoOptimizer, CoSearchResult
+from repro.core.evaluation import HWEvaluation
+from repro.core.highfidelity import (
+    DEFAULT_UUL_PERCENTILE,
+    ChampionSelector,
+    HighFidelitySelector,
+)
+from repro.errors import ConfigurationError
+from repro.optim.mobo import MOBOSampler
+from repro.optim.pareto import ObjectiveNormalizer
+from repro.optim.sh import plan_rounds, relative_auc_score, select_survivors, terminal_value
+
+SURROGATE_UPDATES = ("high_fidelity", "champion")
+
+
+@dataclass
+class UnicoConfig:
+    """Hyperparameters of Algorithm 1 (defaults follow the paper)."""
+
+    batch_size: int = 30  # N
+    max_iterations: int = 10  # MaxIter
+    max_budget: int = 300  # b_max
+    eta: float = 2.0
+    keep_fraction: float = 0.5  # k = floor(0.5 N)
+    auc_fraction: float = 0.15  # p = floor(0.15 N)
+    use_msh: bool = True
+    surrogate_update: str = "high_fidelity"
+    include_robustness: bool = True
+    uul_percentile: float = DEFAULT_UUL_PERCENTILE
+    rho: float = 0.2
+    robustness_alpha: float = 0.05
+    pool_size: int = 256
+    workers: int = 1
+    mobo_overhead_s: float = 5.0
+    time_budget_s: Optional[float] = None
+    min_observations: int = 8
+    #: warm-start configurations injected into the first batch (e.g. the
+    #: expert default when tuning an existing industrial architecture)
+    initial_configs: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 2:
+            raise ConfigurationError(f"batch_size must be >= 2, got {self.batch_size}")
+        if self.max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+        if self.max_budget < 1:
+            raise ConfigurationError("max_budget must be >= 1")
+        if self.surrogate_update not in SURROGATE_UPDATES:
+            raise ConfigurationError(
+                f"surrogate_update must be one of {SURROGATE_UPDATES}, "
+                f"got {self.surrogate_update!r}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+
+
+@dataclass
+class IterationRecord:
+    """Per-MOBO-iteration diagnostics."""
+
+    iteration: int
+    time_s: float
+    uul: float
+    num_selected: int
+    num_feasible: int
+    pareto_size: int
+    best_scalar: float
+
+
+class Unico(CoOptimizer):
+    """The UNICO co-optimizer."""
+
+    method_name = "unico"
+
+    def __init__(self, space, network, engine, config: Optional[UnicoConfig] = None, **kwargs):
+        config = config or UnicoConfig()
+        super().__init__(
+            space,
+            network,
+            engine,
+            include_robustness=config.include_robustness,
+            robustness_alpha=config.robustness_alpha,
+            **kwargs,
+        )
+        self.config = config
+        # the co-optimizer owns all wall-clock accounting
+        self.engine.charge_clock = False
+        self.num_objectives = 4 if config.include_robustness else 3
+        self.sampler = MOBOSampler(
+            space,
+            self.num_objectives,
+            seed=self.seeds.generator("mobo"),
+            rho=config.rho,
+            pool_size=config.pool_size,
+            min_observations=config.min_observations,
+        )
+        if config.surrogate_update == "high_fidelity":
+            self.selector = HighFidelitySelector(
+                num_objectives=self.num_objectives,
+                rho=config.rho,
+                percentile=config.uul_percentile,
+            )
+        else:
+            self.selector = ChampionSelector(
+                num_objectives=self.num_objectives, rho=config.rho
+            )
+        self.normalizer = ObjectiveNormalizer(self.num_objectives)
+        self.train_configs: List = []
+        self.train_objectives_raw: List[np.ndarray] = []
+        self.iteration_records: List[IterationRecord] = []
+        self.evaluations: List[HWEvaluation] = []
+
+    # ------------------------------------------------------------------ parts
+    def _normalized_training_set(self) -> np.ndarray:
+        if not self.train_objectives_raw:
+            return np.zeros((0, self.num_objectives))
+        return np.vstack(
+            [self.normalizer.transform(y) for y in self.train_objectives_raw]
+        )
+
+    def _run_msh(self, trials: List) -> None:
+        """Modified successive halving with parallel clock accounting."""
+        config = self.config
+        plans = plan_rounds(
+            len(trials), config.max_budget, config.eta, config.keep_fraction
+        )
+        active = list(range(len(trials)))
+        spent = {i: 0 for i in active}
+        init_charged = {i: False for i in active}
+        for plan_index, plan in enumerate(plans):
+            durations: List[float] = []
+            for trial_id in active:
+                additional = plan.cumulative_budget - spent[trial_id]
+                queries_before = trials[trial_id].queries_spent
+                if additional > 0:
+                    trials[trial_id].run(additional)
+                    spent[trial_id] = plan.cumulative_budget
+                duration_queries = trials[trial_id].queries_spent - queries_before
+                if not init_charged[trial_id]:
+                    duration_queries += queries_before  # initialization evals
+                    init_charged[trial_id] = True
+                durations.append(duration_queries * self.engine.eval_cost_s)
+            self.clock.advance_parallel(durations, label="sw-search")
+            if plan_index == len(plans) - 1:
+                break
+            keep = min(plans[plan_index + 1].num_candidates, len(active))
+            promotions = 0
+            if config.use_msh:
+                promotions = min(
+                    int(np.floor(config.auc_fraction * len(trials))), keep
+                )
+            tv = {i: terminal_value(trials[i].best_curve()) for i in active}
+            auc = {i: relative_auc_score(trials[i].best_curve()) for i in active}
+            active = select_survivors(active, tv, auc, keep, promotions)
+
+    # ----------------------------------------------------------------- driver
+    def optimize(self) -> CoSearchResult:
+        config = self.config
+        self.clock.workers = config.workers
+        for iteration in range(config.max_iterations):
+            if (
+                config.time_budget_s is not None
+                and self.clock.now_s >= config.time_budget_s
+            ):
+                break
+            # (1) batch sampling guided by the high-fidelity surrogate
+            incumbents = [design.hw for design in self.pareto.items]
+            batch = self.sampler.suggest_batch(
+                self.train_configs,
+                self._normalized_training_set(),
+                config.batch_size,
+                incumbents=incumbents,
+            )
+            self.clock.advance(config.mobo_overhead_s, label="mobo")
+            if iteration == 0 and config.initial_configs:
+                seeds = list(config.initial_configs)[: len(batch)]
+                batch = seeds + batch[len(seeds):]
+            if not batch:
+                break
+            # (2) adaptive SW mapping search via (M)SH
+            trials = [self.new_trial(hw) for hw in batch]
+            self._run_msh(trials)
+            # (3) assess every candidate
+            batch_evaluations = [self.finish_candidate(trial) for trial in trials]
+            self.evaluations.extend(batch_evaluations)
+            for evaluation in batch_evaluations:
+                self.normalizer.observe(evaluation.objectives)
+            # (4) high-fidelity surrogate update
+            normalized = np.vstack(
+                [
+                    self.normalizer.transform(evaluation.objectives)
+                    for evaluation in batch_evaluations
+                ]
+            )
+            selected, scalars = self.selector.select(normalized)
+            for index in np.flatnonzero(selected):
+                self.train_configs.append(batch[index])
+                self.train_objectives_raw.append(
+                    batch_evaluations[index].objectives
+                )
+            self.iteration_records.append(
+                IterationRecord(
+                    iteration=iteration,
+                    time_s=self.clock.now_s,
+                    uul=self.selector.uul,
+                    num_selected=int(selected.sum()),
+                    num_feasible=sum(
+                        1 for evaluation in batch_evaluations if evaluation.feasible
+                    ),
+                    pareto_size=len(self.pareto),
+                    best_scalar=float(np.min(scalars[np.isfinite(scalars)]))
+                    if np.isfinite(scalars).any()
+                    else float("inf"),
+                )
+            )
+        return self.make_result(
+            extras={
+                "iterations": len(self.iteration_records),
+                "train_set_size": len(self.train_configs),
+                "final_uul": self.selector.uul,
+                "iteration_records": self.iteration_records,
+            }
+        )

@@ -1,0 +1,43 @@
+"""Analytical PPA estimation (the MAESTRO-like prototyping-stage engine).
+
+Public surface:
+
+* :class:`Technology` / :data:`DEFAULT_TECHNOLOGY` — process constants,
+* :func:`analyze_gemm` / :func:`evaluate_network` — raw analytical model,
+* :class:`PPAEngine` / :class:`MaestroEngine` — the estimation-service
+  interface with caching and simulated-wall-clock charging used by every
+  search algorithm in the library.
+"""
+
+from repro.costmodel.engine import (
+    ANALYTICAL_EVAL_COST_S,
+    MaestroEngine,
+    PPAEngine,
+)
+from repro.costmodel.maestro import (
+    LayerPPA,
+    NetworkPPA,
+    analyze_gemm,
+    evaluate_network,
+    spatial_area_mm2,
+)
+from repro.costmodel.technology import DEFAULT_TECHNOLOGY, Technology
+from repro.costmodel.reliability import FlakyEngine, RetryingEngine
+from repro.costmodel.timeloop import TimeloopEngine, analyze_gemm_loopnest
+
+__all__ = [
+    "FlakyEngine",
+    "RetryingEngine",
+    "TimeloopEngine",
+    "analyze_gemm_loopnest",
+    "ANALYTICAL_EVAL_COST_S",
+    "MaestroEngine",
+    "PPAEngine",
+    "LayerPPA",
+    "NetworkPPA",
+    "analyze_gemm",
+    "evaluate_network",
+    "spatial_area_mm2",
+    "DEFAULT_TECHNOLOGY",
+    "Technology",
+]

@@ -1,0 +1,190 @@
+"""PPA estimation engines.
+
+Section 3.5 describes the PPA estimation engine as a standalone service that
+takes (hardware configuration, SW mapping, tensor workload) and returns
+power/performance/area.  This module provides that interface:
+
+* :class:`PPAEngine` — the abstract service contract, bound to one workload.
+* :class:`MaestroEngine` — the analytical engine (prototyping stage); each
+  layer query charges ~5 s of modeled wall-clock (see ANALYTICAL_EVAL_COST_S).
+* Caching is built in: identical (hw, layer, mapping) queries are computed
+  once, while the simulated clock is still charged per call — mirroring a
+  real deployment where the estimator service is invoked each time.
+
+The cycle-accurate engine for the Ascend-like platform lives in
+:mod:`repro.camodel.engine` and implements the same contract.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from repro.mapping.gemm_mapping import GemmMapping, NetworkMapping
+
+from repro.costmodel.maestro import (
+    LayerPPA,
+    NetworkPPA,
+    analyze_gemm,
+    evaluate_network,
+    spatial_area_mm2,
+)
+from repro.costmodel.technology import DEFAULT_TECHNOLOGY, Technology
+from repro.errors import EvaluationError
+from repro.hw.spatial import SpatialHWConfig
+from repro.utils.clock import SimulatedClock
+from repro.workloads.layers import GemmShape
+from repro.workloads.network import Network
+
+#: Modeled evaluation wall-clock (seconds) per analytical layer query.
+#: The MAESTRO call itself is milliseconds, but one mapping-candidate
+#: evaluation in the HASCO/FlexTensor pipeline also pays schedule
+#: concretization and tool overhead; 5 s/query puts the end-to-end search
+#: costs of every method in the range Tables 1-2 report (tens of hours).
+ANALYTICAL_EVAL_COST_S = 5.0
+
+
+class PPAEngine(ABC):
+    """Estimation service bound to a single workload.
+
+    Subclasses must implement :meth:`evaluate_layer`; network-level
+    aggregation, caching and clock charging are shared.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        clock: Optional[SimulatedClock] = None,
+        eval_cost_s: float = ANALYTICAL_EVAL_COST_S,
+        tech: Technology = DEFAULT_TECHNOLOGY,
+    ):
+        self.network = network
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.eval_cost_s = eval_cost_s
+        self.tech = tech
+        self.layer_shapes: Dict[str, Tuple[GemmShape, int]] = {
+            layer.name: (layer.to_gemm(), layer.count) for layer in network.layers
+        }
+        self._cache: Dict[Tuple, LayerPPA] = {}
+        self.num_queries = 0
+        self.num_cache_hits = 0
+        #: when False, a co-optimizer owns wall-clock accounting (e.g. to
+        #: model parallel workers) and the engine only counts queries.
+        self.charge_clock = True
+
+    # -- subclass contract ----------------------------------------------------
+    @abstractmethod
+    def _compute_layer(
+        self, hw, mapping: "GemmMapping", shape: GemmShape
+    ) -> LayerPPA:
+        """Uncached single-layer analysis."""
+
+    @abstractmethod
+    def area_mm2(self, hw) -> float:
+        """Silicon area of a hardware configuration."""
+
+    def _compute_layer_by_name(
+        self, hw, mapping: "GemmMapping", layer_name: str, shape: GemmShape
+    ) -> LayerPPA:
+        """Name-aware computation hook (remote engines dispatch by name)."""
+        return self._compute_layer(hw, mapping, shape)
+
+    def hw_key(self, hw) -> Tuple:
+        """Hashable identity of a hardware config (for the cache)."""
+        return tuple(sorted(vars(hw).items()))
+
+    # -- service API ------------------------------------------------------------
+    def evaluate_layer(self, hw, mapping: "GemmMapping", layer_name: str) -> LayerPPA:
+        """Evaluate one layer; charges the clock, caches the computation."""
+        if layer_name not in self.layer_shapes:
+            raise EvaluationError(
+                f"layer {layer_name!r} not in workload {self.network.name!r}"
+            )
+        shape, _count = self.layer_shapes[layer_name]
+        key = (self.hw_key(hw), layer_name, mapping.key())
+        self.num_queries += 1
+        if self.charge_clock:
+            self.clock.advance(self.eval_cost_s, label="ppa-eval")
+        if key in self._cache:
+            self.num_cache_hits += 1
+            return self._cache[key]
+        result = self._compute_layer_by_name(hw, mapping, layer_name, shape)
+        self._cache[key] = result
+        return result
+
+    def evaluate_network(self, hw, mappings: "NetworkMapping") -> NetworkPPA:
+        """Evaluate a complete per-layer mapping (charges one eval per layer)."""
+        for layer_name in self.layer_shapes:
+            if layer_name in mappings:
+                self.evaluate_layer(hw, mappings[layer_name], layer_name)
+        return self.aggregate(hw, mappings)
+
+    def aggregate(self, hw, mappings: "NetworkMapping") -> NetworkPPA:
+        """Combine cached layer results without charging the clock."""
+        area = self.area_mm2(hw)
+        total_latency = 0.0
+        total_energy = 0.0
+        feasible = True
+        layer_results: Dict[str, LayerPPA] = {}
+        for name, (shape, count) in self.layer_shapes.items():
+            mapping = mappings.get(name)
+            if mapping is None:
+                feasible = False
+                continue
+            result = self._cache.get((self.hw_key(hw), name, mapping.key()))
+            if result is None:
+                result = self._compute_layer_by_name(hw, mapping, name, shape)
+                self._cache[(self.hw_key(hw), name, mapping.key())] = result
+            layer_results[name] = result
+            if not result.feasible:
+                feasible = False
+                continue
+            total_latency += count * result.latency_s
+            total_energy += count * result.energy_j
+        if not feasible or total_latency <= 0.0:
+            return NetworkPPA(
+                latency_s=float("inf"),
+                energy_j=float("inf"),
+                power_w=float("inf"),
+                area_mm2=area,
+                feasible=False,
+                layer_results=layer_results,
+            )
+        power = total_energy / total_latency + self.tech.leakage_w_per_mm2 * area
+        return NetworkPPA(
+            latency_s=total_latency,
+            energy_j=total_energy,
+            power_w=power,
+            area_mm2=area,
+            feasible=True,
+            layer_results=layer_results,
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.num_queries == 0:
+            return 0.0
+        return self.num_cache_hits / self.num_queries
+
+
+class MaestroEngine(PPAEngine):
+    """Analytical engine for the open-source spatial accelerator."""
+
+    def _compute_layer(
+        self, hw: SpatialHWConfig, mapping: "GemmMapping", shape: GemmShape
+    ) -> LayerPPA:
+        return analyze_gemm(hw, mapping, shape, self.tech)
+
+    def area_mm2(self, hw: SpatialHWConfig) -> float:
+        return spatial_area_mm2(hw, self.tech)
+
+
+__all__ = [
+    "ANALYTICAL_EVAL_COST_S",
+    "PPAEngine",
+    "MaestroEngine",
+    "LayerPPA",
+    "NetworkPPA",
+    "evaluate_network",
+]

@@ -1,0 +1,259 @@
+"""MAESTRO-like analytical PPA model for the spatial accelerator.
+
+Given a hardware configuration, a software mapping and a GEMM-shaped
+operator, the model produces latency / energy / area the same way the
+data-centric analytical frameworks (MAESTRO, Timeloop) do:
+
+1. **Tiling** — the mapping's L1 tile ``(tm, tn, tk)`` is executed per pass
+   on the PE array; ``m`` spreads over one array axis, ``n`` over the other
+   (per the mapping's ``spatial`` choice).
+2. **Reuse analysis** — DRAM<->L2 traffic uses the classic reload-factor
+   rule: operand ``X`` is re-fetched once per iteration of every loop that
+   does not index ``X`` and sits *outside* the innermost loop that does.
+   L2<->L1 (NoC) traffic depends on the dataflow: weight-stationary keeps
+   the B (weight) tile resident across passes, output-stationary keeps the
+   accumulator in the PE until the reduction completes.
+3. **Roofline latency** — compute, NoC and DRAM cycles overlap via double
+   buffering, so tile latency is their maximum.
+4. **Energy** — per-MAC, per-byte register/L1/L2/DRAM energies from
+   :class:`~repro.costmodel.technology.Technology`; SRAM energy grows with
+   capacity.
+5. **Area** — PEs + banked SRAM + NoC + fixed base.
+
+Capacity feasibility (double-buffered tiles must fit L1 per PE and L2) is
+checked first; infeasible mappings return ``feasible=False`` with a reason.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.costmodel.results import LayerPPA, NetworkPPA
+from repro.costmodel.technology import DEFAULT_TECHNOLOGY, Technology
+from repro.hw.spatial import SpatialHWConfig
+from repro.utils.intmath import round_up_div
+from repro.workloads.layers import GemmShape
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from repro.mapping.gemm_mapping import GemmMapping
+
+_STARTUP_CYCLES = 1000.0
+
+
+def spatial_area_mm2(
+    hw: SpatialHWConfig, tech: Technology = DEFAULT_TECHNOLOGY
+) -> float:
+    """Silicon area of a spatial-accelerator configuration."""
+    l1_total_kb = hw.l1_total_bytes / 1024.0
+    l2_kb = float(hw.l2_kb)
+    l1_area = (
+        tech.sram_area_mm2_per_kb
+        * l1_total_kb
+        * (1.0 + tech.bank_area_overhead * (hw.l1_banks - 1))
+    )
+    l2_area = (
+        tech.sram_area_mm2_per_kb
+        * l2_kb
+        * (1.0 + tech.bank_area_overhead * (hw.l2_banks - 1))
+    )
+    pe_area = tech.pe_area_mm2 * hw.num_pes
+    noc_area = tech.noc_area_mm2_per_pe_per_lane * hw.num_pes * hw.noc_bw
+    return tech.base_area_mm2 + pe_area + l1_area + l2_area + noc_area
+
+
+def _clipped_tiles(
+    mapping: GemmMapping, shape: GemmShape
+) -> Tuple[int, int, int]:
+    """Tiles can never exceed the problem dimensions."""
+    return (
+        min(mapping.tile_m, shape.m),
+        min(mapping.tile_n, shape.n),
+        min(mapping.tile_k, shape.k),
+    )
+
+
+def _reload_factor(
+    operand_dims: Tuple[str, ...],
+    loop_order: Tuple[str, str, str],
+    trips: Dict[str, int],
+) -> int:
+    """Classic reload rule, see module docstring (step 2)."""
+    innermost_pos = max(loop_order.index(dim) for dim in operand_dims)
+    factor = 1
+    for position, dim in enumerate(loop_order):
+        if dim not in operand_dims and position < innermost_pos:
+            factor *= trips[dim]
+    return factor
+
+
+def analyze_gemm(
+    hw: SpatialHWConfig,
+    mapping: GemmMapping,
+    shape: GemmShape,
+    tech: Technology = DEFAULT_TECHNOLOGY,
+) -> LayerPPA:
+    """Analyze one GEMM pass under ``mapping`` on ``hw``.
+
+    Returns an infeasible :class:`LayerPPA` when the double-buffered tile
+    working sets overflow L1 (per PE) or L2.
+    """
+    tm, tn, tk = _clipped_tiles(mapping, shape)
+    op_b = tech.operand_bytes
+    acc_b = tech.accum_bytes
+
+    if mapping.spatial == "mn":
+        pe_m, pe_n = hw.pe_x, hw.pe_y
+    else:
+        pe_m, pe_n = hw.pe_y, hw.pe_x
+    sub_m = round_up_div(tm, pe_m)
+    sub_n = round_up_div(tn, pe_n)
+
+    # --- capacity feasibility ------------------------------------------------
+    l1_need = 2 * (sub_m * tk + tk * sub_n) * op_b + sub_m * sub_n * acc_b
+    if l1_need > hw.l1_bytes:
+        return LayerPPA(
+            latency_s=float("inf"),
+            energy_j=float("inf"),
+            feasible=False,
+            infeasible_reason=(
+                f"L1 overflow: need {l1_need} B per PE, have {hw.l1_bytes} B"
+            ),
+        )
+    l2_need = 2 * (tm * tk + tk * tn) * op_b + tm * tn * acc_b
+    if l2_need > hw.l2_bytes:
+        return LayerPPA(
+            latency_s=float("inf"),
+            energy_j=float("inf"),
+            feasible=False,
+            infeasible_reason=(
+                f"L2 overflow: need {l2_need} B, have {hw.l2_bytes} B"
+            ),
+        )
+
+    trips = {
+        "m": round_up_div(shape.m, tm),
+        "n": round_up_div(shape.n, tn),
+        "k": round_up_div(shape.k, tk),
+    }
+    n_tiles = trips["m"] * trips["n"] * trips["k"]
+    order = tuple(mapping.loop_order)
+    reuse = shape.reuse_penalty
+
+    # --- DRAM <-> L2 traffic -------------------------------------------------
+    reload_a = _reload_factor(("m", "k"), order, trips)
+    reload_b = _reload_factor(("k", "n"), order, trips)
+    reload_c = _reload_factor(("m", "n"), order, trips)
+    dram_a = shape.m * shape.k * op_b * reload_a / reuse
+    dram_b = shape.k * shape.n * op_b * reload_b / reuse
+    dram_c = shape.m * shape.n * op_b + 2.0 * shape.m * shape.n * acc_b * (
+        reload_c - 1
+    )
+    dram_bytes = dram_a + dram_b + dram_c
+
+    # --- L2 <-> L1 (NoC) traffic ---------------------------------------------
+    noc_a = n_tiles * tm * tk * op_b / reuse
+    if hw.dataflow == "ws":
+        # Weight tile resident in L1 across passes that keep it fixed.
+        noc_b = shape.k * shape.n * op_b * reload_b / reuse
+        noc_c = n_tiles * tm * tn * acc_b
+    else:  # output stationary
+        noc_b = n_tiles * tk * tn * op_b / reuse
+        if order[2] == "k":
+            # Reduction innermost: accumulator completes inside the PE.
+            noc_c = shape.m * shape.n * op_b
+        else:
+            noc_c = shape.m * shape.n * op_b + 2.0 * shape.m * shape.n * acc_b * (
+                trips["k"] - 1
+            )
+    noc_bytes = noc_a + noc_b + noc_c
+
+    # --- latency ---------------------------------------------------------------
+    fill = pe_m + pe_n  # systolic array fill/drain per pass
+    issue_overhead = 0.25 / mapping.unroll
+    compute_cycles = n_tiles * (sub_m * sub_n * tk * (1.0 + issue_overhead) + fill)
+    bank_boost = min(hw.l1_banks, 2) / 2.0 + 0.5  # 1.0 at 1 bank, 1.5 at >=2
+    noc_cycles = noc_bytes / (hw.noc_bw * bank_boost)
+    dram_cycles = dram_bytes / tech.dram_bw_bytes_per_cycle
+    latency_cycles = max(compute_cycles, noc_cycles, dram_cycles) + _STARTUP_CYCLES
+    latency_s = latency_cycles / tech.frequency_hz
+
+    # --- energy ----------------------------------------------------------------
+    macs = shape.macs
+    reg_bytes = 2.0 * macs * op_b
+    l1_access_bytes = reg_bytes / 4.0 + noc_bytes
+    l2_access_bytes = noc_bytes + dram_bytes
+    energy_j = (
+        macs * tech.mac_energy_j
+        + reg_bytes * tech.reg_energy_per_byte_j
+        + l1_access_bytes * tech.l1_energy_per_byte(hw.l1_bytes)
+        + l2_access_bytes * tech.l2_energy_per_byte(hw.l2_bytes)
+        + dram_bytes * tech.dram_energy_per_byte_j
+    )
+
+    return LayerPPA(
+        latency_s=latency_s,
+        energy_j=energy_j,
+        feasible=True,
+        compute_cycles=compute_cycles,
+        noc_cycles=noc_cycles,
+        dram_cycles=dram_cycles,
+        dram_bytes=dram_bytes,
+    )
+
+
+def evaluate_network(
+    hw: SpatialHWConfig,
+    layer_shapes: Dict[str, Tuple[GemmShape, int]],
+    mappings: Dict[str, GemmMapping],
+    tech: Technology = DEFAULT_TECHNOLOGY,
+) -> NetworkPPA:
+    """Aggregate PPA for a network.
+
+    Parameters
+    ----------
+    layer_shapes:
+        ``layer name -> (GemmShape, repetition count)``.
+    mappings:
+        ``layer name -> GemmMapping``; must cover every layer.
+    """
+    area = spatial_area_mm2(hw, tech)
+    total_latency = 0.0
+    total_energy = 0.0
+    feasible = True
+    layer_results: Dict[str, LayerPPA] = {}
+    for name, (shape, count) in layer_shapes.items():
+        mapping = mappings.get(name)
+        if mapping is None:
+            result = LayerPPA(
+                latency_s=float("inf"),
+                energy_j=float("inf"),
+                feasible=False,
+                infeasible_reason=f"no mapping for layer {name!r}",
+            )
+        else:
+            result = analyze_gemm(hw, mapping, shape, tech)
+        layer_results[name] = result
+        if not result.feasible:
+            feasible = False
+            continue
+        total_latency += count * result.latency_s
+        total_energy += count * result.energy_j
+    if not feasible or total_latency <= 0.0:
+        return NetworkPPA(
+            latency_s=float("inf"),
+            energy_j=float("inf"),
+            power_w=float("inf"),
+            area_mm2=area,
+            feasible=False,
+            layer_results=layer_results,
+        )
+    leakage_w = tech.leakage_w_per_mm2 * area
+    power_w = total_energy / total_latency + leakage_w
+    return NetworkPPA(
+        latency_s=total_latency,
+        energy_j=total_energy,
+        power_w=power_w,
+        area_mm2=area,
+        feasible=True,
+        layer_results=layer_results,
+    )

@@ -1,0 +1,104 @@
+"""Fault tolerance for estimation services: retries over flaky engines.
+
+In the master-slave deployment (Fig. 6b) the PPA estimation engine is a
+network service; transient failures (timeouts, worker restarts) are
+routine and must not kill a multi-hour co-search.  This module provides:
+
+* :class:`RetryingEngine` — wraps any engine; transient
+  :class:`~repro.errors.EvaluationError` failures are retried with
+  bounded attempts, charging the simulated clock for each retry (failed
+  work still burned wall-clock);
+* :class:`FlakyEngine` — a failure-injection wrapper for tests: fails a
+  configurable fraction of fresh computations deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.costmodel.engine import PPAEngine
+from repro.costmodel.results import LayerPPA
+from repro.errors import EvaluationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+class RetryingEngine(PPAEngine):
+    """Retry transient failures of an inner engine.
+
+    Shares the inner engine's workload, clock, cache-key scheme and cost;
+    a query that keeps failing after ``max_attempts`` raises, because at
+    that point the service is down, not flaky.
+    """
+
+    def __init__(self, inner: PPAEngine, max_attempts: int = 3):
+        if max_attempts < 1:
+            raise EvaluationError(f"max_attempts must be >= 1, got {max_attempts}")
+        super().__init__(
+            inner.network,
+            clock=inner.clock,
+            eval_cost_s=inner.eval_cost_s,
+            tech=inner.tech,
+        )
+        self.inner = inner
+        self.max_attempts = max_attempts
+        self.num_retries = 0
+
+    def _compute_layer_by_name(self, hw, mapping, layer_name, shape) -> LayerPPA:
+        last_error: Optional[EvaluationError] = None
+        for attempt in range(self.max_attempts):
+            try:
+                return self.inner._compute_layer_by_name(
+                    hw, mapping, layer_name, shape
+                )
+            except EvaluationError as error:
+                last_error = error
+                self.num_retries += 1
+                if self.charge_clock:
+                    # the failed attempt burned service time too
+                    self.clock.advance(self.eval_cost_s, label="ppa-retry")
+        raise EvaluationError(
+            f"query failed after {self.max_attempts} attempts: {last_error}"
+        )
+
+    def _compute_layer(self, hw, mapping, shape) -> LayerPPA:
+        raise NotImplementedError("RetryingEngine dispatches by layer name")
+
+    def area_mm2(self, hw) -> float:
+        return self.inner.area_mm2(hw)
+
+
+class FlakyEngine(PPAEngine):
+    """Failure injection: a fraction of fresh computations raise.
+
+    Failures are deterministic per construction seed (so tests replay) but
+    *not* per query key — a retried query usually succeeds, modeling
+    transient service errors.
+    """
+
+    def __init__(self, inner: PPAEngine, failure_rate: float = 0.2, seed: SeedLike = 0):
+        if not 0.0 <= failure_rate < 1.0:
+            raise EvaluationError(
+                f"failure_rate must be in [0, 1), got {failure_rate}"
+            )
+        super().__init__(
+            inner.network,
+            clock=inner.clock,
+            eval_cost_s=inner.eval_cost_s,
+            tech=inner.tech,
+        )
+        self.inner = inner
+        self.failure_rate = failure_rate
+        self._rng = as_generator(seed)
+        self.num_injected_failures = 0
+
+    def _compute_layer_by_name(self, hw, mapping, layer_name, shape) -> LayerPPA:
+        if self._rng.random() < self.failure_rate:
+            self.num_injected_failures += 1
+            raise EvaluationError("injected transient failure")
+        return self.inner._compute_layer_by_name(hw, mapping, layer_name, shape)
+
+    def _compute_layer(self, hw, mapping, shape) -> LayerPPA:
+        raise NotImplementedError("FlakyEngine dispatches by layer name")
+
+    def area_mm2(self, hw) -> float:
+        return self.inner.area_mm2(hw)

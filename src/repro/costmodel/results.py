@@ -1,0 +1,41 @@
+"""PPA result types shared by every estimation engine.
+
+Kept dependency-free (no hardware or mapping imports) so both the cost
+models and the mapping-search layer can import them without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class LayerPPA:
+    """Latency/energy result for one operator instance."""
+
+    latency_s: float
+    energy_j: float
+    feasible: bool
+    compute_cycles: float = 0.0
+    noc_cycles: float = 0.0
+    dram_cycles: float = 0.0
+    dram_bytes: float = 0.0
+    infeasible_reason: str = ""
+
+
+@dataclass(frozen=True)
+class NetworkPPA:
+    """Aggregated PPA for a network under a full per-layer mapping."""
+
+    latency_s: float
+    energy_j: float
+    power_w: float
+    area_mm2: float
+    feasible: bool
+    layer_results: Dict[str, LayerPPA] = field(default_factory=dict)
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product."""
+        return self.energy_j * self.latency_s

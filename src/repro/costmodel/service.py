@@ -1,0 +1,250 @@
+"""The PPA estimation engine as a standalone REST service (Section 3.5).
+
+"PPA Estimation Engine: A standalone REST API to call which requires
+hardware configuration, SW mapping configuration, and a tensor workload as
+inputs to estimate performance, power and area."
+
+* :class:`PPAServiceServer` wraps any :class:`PPAEngine` behind a small
+  HTTP/JSON endpoint (stdlib ``http.server``; POST ``/evaluate_layer``,
+  POST ``/aggregate``, GET ``/health``).
+* :class:`RemotePPAEngine` is a drop-in :class:`PPAEngine` client: search
+  tools talk to it exactly as they talk to an in-process engine, so the
+  master-slave deployment of Fig. 6(b) only changes the engine wiring.
+
+Payloads carry plain dicts of the hardware/mapping dataclass fields; the
+server reconstructs typed objects via the registered codecs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+from urllib.request import Request, urlopen
+
+from repro.camodel.mapping import AscendMapping
+from repro.costmodel.engine import PPAEngine
+from repro.costmodel.results import LayerPPA, NetworkPPA
+from repro.errors import EvaluationError
+from repro.hw.ascend import AscendHWConfig
+from repro.hw.spatial import SpatialHWConfig
+from repro.mapping.gemm_mapping import GemmMapping
+
+_HW_TYPES: Dict[str, type] = {
+    "SpatialHWConfig": SpatialHWConfig,
+    "AscendHWConfig": AscendHWConfig,
+}
+_MAPPING_TYPES: Dict[str, type] = {
+    "GemmMapping": GemmMapping,
+    "AscendMapping": AscendMapping,
+}
+
+
+def encode_object(obj) -> Dict:
+    """Serialize a hardware config or mapping as {type, fields}."""
+    fields = dict(vars(obj))
+    if "loop_order" in fields:
+        fields["loop_order"] = list(fields["loop_order"])
+    return {"type": type(obj).__name__, "fields": fields}
+
+
+def decode_object(payload: Dict):
+    """Inverse of :func:`encode_object`."""
+    type_name = payload["type"]
+    fields = dict(payload["fields"])
+    if type_name in _HW_TYPES:
+        cls = _HW_TYPES[type_name]
+    elif type_name in _MAPPING_TYPES:
+        cls = _MAPPING_TYPES[type_name]
+    else:
+        raise EvaluationError(f"unknown payload type {type_name!r}")
+    if "loop_order" in fields:
+        fields["loop_order"] = tuple(fields["loop_order"])
+    return cls(**fields)
+
+
+def _layer_ppa_to_dict(result: LayerPPA) -> Dict:
+    return {
+        "latency_s": result.latency_s if result.feasible else None,
+        "energy_j": result.energy_j if result.feasible else None,
+        "feasible": result.feasible,
+        "compute_cycles": result.compute_cycles,
+        "noc_cycles": result.noc_cycles,
+        "dram_cycles": result.dram_cycles,
+        "dram_bytes": result.dram_bytes,
+        "infeasible_reason": result.infeasible_reason,
+    }
+
+
+def _layer_ppa_from_dict(payload: Dict) -> LayerPPA:
+    feasible = payload["feasible"]
+    return LayerPPA(
+        latency_s=payload["latency_s"] if feasible else float("inf"),
+        energy_j=payload["energy_j"] if feasible else float("inf"),
+        feasible=feasible,
+        compute_cycles=payload.get("compute_cycles", 0.0),
+        noc_cycles=payload.get("noc_cycles", 0.0),
+        dram_cycles=payload.get("dram_cycles", 0.0),
+        dram_bytes=payload.get("dram_bytes", 0.0),
+        infeasible_reason=payload.get("infeasible_reason", ""),
+    )
+
+
+class PPAServiceServer:
+    """Serve an engine over HTTP on localhost; use as a context manager."""
+
+    def __init__(self, engine: PPAEngine, host: str = "127.0.0.1", port: int = 0):
+        self.engine = engine
+        handler = self._make_handler()
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def _make_handler(self):
+        engine = self.engine
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # silence request logging
+                pass
+
+            def _reply(self, status: int, payload: Dict) -> None:
+                body = json.dumps(payload).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):
+                if self.path == "/health":
+                    self._reply(
+                        200,
+                        {
+                            "status": "ok",
+                            "workload": engine.network.name,
+                            "queries": engine.num_queries,
+                        },
+                    )
+                else:
+                    self._reply(404, {"error": f"unknown path {self.path}"})
+
+            def do_POST(self):
+                length = int(self.headers.get("Content-Length", 0))
+                try:
+                    request = json.loads(self.rfile.read(length))
+                except json.JSONDecodeError:
+                    self._reply(400, {"error": "invalid JSON"})
+                    return
+                try:
+                    if self.path == "/evaluate_layer":
+                        result = engine.evaluate_layer(
+                            decode_object(request["hw"]),
+                            decode_object(request["mapping"]),
+                            request["layer"],
+                        )
+                        self._reply(200, _layer_ppa_to_dict(result))
+                    elif self.path == "/aggregate":
+                        hw = decode_object(request["hw"])
+                        mappings = {
+                            name: decode_object(mapping)
+                            for name, mapping in request["mappings"].items()
+                        }
+                        ppa = engine.aggregate(hw, mappings)
+                        self._reply(
+                            200,
+                            {
+                                "latency_s": ppa.latency_s if ppa.feasible else None,
+                                "energy_j": ppa.energy_j if ppa.feasible else None,
+                                "power_w": ppa.power_w if ppa.feasible else None,
+                                "area_mm2": ppa.area_mm2,
+                                "feasible": ppa.feasible,
+                            },
+                        )
+                    else:
+                        self._reply(404, {"error": f"unknown path {self.path}"})
+                except (EvaluationError, KeyError) as exc:
+                    self._reply(400, {"error": str(exc)})
+
+        return Handler
+
+    def start(self) -> "PPAServiceServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "PPAServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class RemotePPAEngine(PPAEngine):
+    """A :class:`PPAEngine` that forwards queries to a PPA service.
+
+    Keeps the local cache and clock semantics of the base class; only the
+    uncached computation goes over the wire.  ``area_mm2`` is computed by a
+    locally supplied function (areas depend only on the hardware config).
+    """
+
+    def __init__(
+        self,
+        network,
+        base_url: str,
+        area_fn: Callable[[object], float],
+        timeout_s: float = 10.0,
+        **kwargs,
+    ):
+        super().__init__(network, **kwargs)
+        self.base_url = base_url.rstrip("/")
+        self.area_fn = area_fn
+        self.timeout_s = timeout_s
+
+    def _post(self, path: str, payload: Dict) -> Dict:
+        request = Request(
+            f"{self.base_url}{path}",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urlopen(request, timeout=self.timeout_s) as response:
+            return json.loads(response.read())
+
+    def _compute_layer(self, hw, mapping, shape) -> LayerPPA:
+        raise NotImplementedError(
+            "RemotePPAEngine dispatches by layer name; "
+            "_compute_layer_by_name handles all queries"
+        )
+
+    def _compute_layer_by_name(self, hw, mapping, layer_name, shape) -> LayerPPA:
+        payload = {
+            "hw": encode_object(hw),
+            "mapping": encode_object(mapping),
+            "layer": layer_name,
+        }
+        return _layer_ppa_from_dict(self._post("/evaluate_layer", payload))
+
+    def area_mm2(self, hw) -> float:
+        return self.area_fn(hw)
+
+    def health(self) -> Dict:
+        with urlopen(f"{self.base_url}/health", timeout=self.timeout_s) as response:
+            return json.loads(response.read())

@@ -1,0 +1,58 @@
+"""Technology constants for the analytical PPA model.
+
+All per-operation energies, per-area leakage, and component areas are
+collected in one frozen :class:`Technology` object so a single 16nm-class
+process assumption flows through latency/energy/area consistently.  Values
+are representative of published accelerator characterizations (Eyeriss,
+SIMBA, TPU die shots scaled to 16nm); the co-optimization only depends on
+their *relative* magnitudes (DRAM >> L2 > L1 > MAC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process/technology parameters shared by the cost models.
+
+    Energies are Joules per unit; areas are mm^2 per unit; the clock is Hz.
+    """
+
+    # timing
+    frequency_hz: float = 1.0e9
+    dram_bw_bytes_per_cycle: float = 32.0
+
+    # dynamic energy
+    mac_energy_j: float = 0.20e-12  # int8 MAC at 16nm-class node
+    reg_energy_per_byte_j: float = 0.015e-12
+    l1_energy_per_byte_base_j: float = 0.06e-12  # at 1 KB; scales with size^0.25
+    l2_energy_per_byte_base_j: float = 0.35e-12  # at 64 KB; scales with size^0.25
+    dram_energy_per_byte_j: float = 8.0e-12
+
+    # static (leakage) power, proportional to area
+    leakage_w_per_mm2: float = 0.020
+
+    # area
+    pe_area_mm2: float = 0.0040  # MAC + registers + control per PE
+    sram_area_mm2_per_kb: float = 0.0012
+    bank_area_overhead: float = 0.03  # +3% SRAM area per extra bank
+    noc_area_mm2_per_pe_per_lane: float = 0.000008  # per PE per byte-lane
+    base_area_mm2: float = 0.35  # controller, DMA engines, PLL, pads
+
+    # data widths
+    operand_bytes: int = 1  # int8 activations/weights
+    accum_bytes: int = 4  # fp32/int32 accumulators
+
+    def l1_energy_per_byte(self, l1_bytes: int) -> float:
+        """SRAM access energy grows ~size^0.25 (bitline/wordline length)."""
+        scale = max(l1_bytes / 1024.0, 0.0625) ** 0.25
+        return self.l1_energy_per_byte_base_j * scale
+
+    def l2_energy_per_byte(self, l2_bytes: int) -> float:
+        scale = max(l2_bytes / (64.0 * 1024.0), 0.0625) ** 0.25
+        return self.l2_energy_per_byte_base_j * scale
+
+
+DEFAULT_TECHNOLOGY = Technology()

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the UNICO reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch the whole family with one clause while the tests can still assert the
+specific subtype.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or out-of-range fields."""
+
+
+class DesignSpaceError(ReproError):
+    """A hardware configuration is outside its declared design space."""
+
+
+class MappingError(ReproError):
+    """A software mapping is malformed or incompatible with a workload."""
+
+
+class InfeasibleMappingError(MappingError):
+    """A mapping violates hardware capacity constraints (e.g. L1 overflow)."""
+
+
+class WorkloadError(ReproError):
+    """A workload/layer definition is invalid or unknown."""
+
+
+class EvaluationError(ReproError):
+    """A PPA engine failed to evaluate a (hw, mapping, workload) triple."""
+
+
+class SearchBudgetError(ReproError):
+    """A search was invoked with a non-positive or inconsistent budget."""
+
+
+class SurrogateError(ReproError):
+    """The GP surrogate could not be fit or queried."""

@@ -1,0 +1,68 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.tables` — Tables 1-2 (edge/cloud PPA + cost),
+* :mod:`repro.experiments.fig7` — HV-difference vs wall-clock curves,
+* :mod:`repro.experiments.fig8` — R-metric reliability on unseen DNNs,
+* :mod:`repro.experiments.fig9` — generalization vs HASCO,
+* :mod:`repro.experiments.fig10` — MSH / high-fidelity-update ablation,
+* :mod:`repro.experiments.fig11` — Ascend-like industrial deployment.
+
+All take a budget preset (``smoke`` / ``bench`` / ``paper``) and a seed and
+return JSON-serializable :class:`~repro.utils.records.RunRecord` trees.
+"""
+
+from repro.experiments.fig7 import FIG7_METHODS, run_fig7, run_fig7_network, speedup_to_reach
+from repro.experiments.fig8 import run_fig8, select_comparable_pairs
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import FIG10_METHODS, run_fig10, run_fig10_network
+from repro.experiments.fig11 import evaluate_default, run_fig11
+from repro.experiments.harness import (
+    METHODS,
+    combined_reference,
+    final_hypervolume,
+    hv_difference_curve,
+    ideal_front,
+    make_platform,
+    resolve_workload,
+    run_method,
+    sw_search_on,
+    time_grid,
+)
+from repro.experiments.presets import Preset, get_preset
+from repro.experiments.tables import (
+    TABLE_METHODS,
+    format_table,
+    run_table,
+    run_table_cell,
+)
+
+__all__ = [
+    "FIG7_METHODS",
+    "run_fig7",
+    "run_fig7_network",
+    "speedup_to_reach",
+    "run_fig8",
+    "select_comparable_pairs",
+    "run_fig9",
+    "FIG10_METHODS",
+    "run_fig10",
+    "run_fig10_network",
+    "evaluate_default",
+    "run_fig11",
+    "METHODS",
+    "combined_reference",
+    "final_hypervolume",
+    "hv_difference_curve",
+    "ideal_front",
+    "make_platform",
+    "resolve_workload",
+    "run_method",
+    "sw_search_on",
+    "time_grid",
+    "Preset",
+    "get_preset",
+    "TABLE_METHODS",
+    "format_table",
+    "run_table",
+    "run_table_cell",
+]

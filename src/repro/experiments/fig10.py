@@ -1,0 +1,86 @@
+"""Figure 10: ablation of UNICO's two algorithmic features.
+
+Four variants run on each workload of {UNET, SRGAN, BERT, VIT}:
+
+* ``hasco``        — ChampionUpdate, no successive halving,
+* ``sh_champion``  — vanilla SH + ChampionUpdate,
+* ``msh_champion`` — modified SH + ChampionUpdate,
+* ``unico``        — MSH + HighFidelityUpdate (+ robustness).
+
+Reported: final hypervolume per variant against a shared reference, plus
+the relative improvements the paper quotes (MSH+Champion ~13.7% over HASCO,
+~16% over SH+Champion; full UNICO ~28% over HASCO; SH+Champion *worse*
+than HASCO because plain SH prunes promising configurations too early).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+from repro.experiments.harness import (
+    combined_reference,
+    final_hypervolume,
+    run_method,
+)
+from repro.experiments.presets import Preset
+from repro.utils.records import RunRecord
+from repro.workloads import FIG10_NETWORKS
+
+FIG10_METHODS = ("hasco", "sh_champion", "msh_champion", "unico")
+
+
+def run_fig10_network(
+    network: str,
+    preset: Union[str, Preset] = "smoke",
+    seed: int = 0,
+    scenario: str = "edge",
+    methods: Sequence[str] = FIG10_METHODS,
+) -> RunRecord:
+    """One workload's ablation panel."""
+    results = {
+        method: run_method(method, scenario, network, preset, seed=seed)
+        for method in methods
+    }
+    reference = combined_reference(list(results.values()))
+    record = RunRecord(f"fig10-{network}")
+    record.put("network", network)
+    hvs: Dict[str, float] = {}
+    for method, result in results.items():
+        hv = final_hypervolume(result, reference)
+        hvs[method] = hv
+        child = record.child(method)
+        child.put("final_hv", hv)
+        child.put("total_time_h", result.total_time_h)
+    base = hvs.get("hasco", 0.0)
+    for method, hv in hvs.items():
+        if base > 0:
+            record.child(method).put(
+                "improvement_over_hasco_pct", 100.0 * (hv - base) / base
+            )
+    return record
+
+
+def run_fig10(
+    preset: Union[str, Preset] = "smoke",
+    seed: int = 0,
+    networks: Sequence[str] = FIG10_NETWORKS,
+    scenario: str = "edge",
+) -> RunRecord:
+    """The full ablation across workloads with mean improvements."""
+    record = RunRecord("fig10")
+    per_method: Dict[str, list] = {method: [] for method in FIG10_METHODS}
+    for network in networks:
+        panel = run_fig10_network(network, preset, seed=seed, scenario=scenario)
+        record.children[network] = panel
+        for method in FIG10_METHODS:
+            value = panel.children[method].get("improvement_over_hasco_pct")
+            if value is not None:
+                per_method[method].append(value)
+    for method, values in per_method.items():
+        if values:
+            record.put(
+                f"mean_improvement_{method}_pct", float(np.mean(values))
+            )
+    return record

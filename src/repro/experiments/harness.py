@@ -1,0 +1,299 @@
+"""Experiment harness: method registry, runners and HV-curve utilities.
+
+One entry point, :func:`run_method`, builds the engine + co-optimizer for a
+(method, scenario, workload, preset) cell and returns the uniform
+:class:`~repro.core.base.CoSearchResult`.  Methods:
+
+=====================  =====================================================
+``unico``              full UNICO (MSH + HighFidelityUpdate + robustness R)
+``unico_no_r``         UNICO without the sensitivity objective (Fig. 8 step 1)
+``msh_champion``       MSH + ChampionUpdate ablation (Fig. 10)
+``sh_champion``        SH + ChampionUpdate ablation (Fig. 10)
+``hasco``              HASCO-like single-point BO baseline
+``nsgaii``             NSGA-II co-design baseline
+``mobohb``             multi-objective BOHB baseline
+``random``             uniform-random floor
+=====================  =====================================================
+
+Scenarios: ``edge`` / ``cloud`` (open-source spatial platform, analytical
+engine, power caps 2 W / 20 W) and ``ascend`` (cycle-accurate engine,
+area cap 200 mm^2, depth-first fusion mapping tool, 4 slave workers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.camodel import AscendCAEngine
+from repro.core import (
+    CoSearchResult,
+    HascoBaseline,
+    HascoConfig,
+    MobohbBaseline,
+    MobohbConfig,
+    NSGA2Codesign,
+    NSGA2CodesignConfig,
+    RandomCodesign,
+    RandomCodesignConfig,
+    Unico,
+    UnicoConfig,
+)
+from repro.costmodel import MaestroEngine
+from repro.errors import ConfigurationError
+from repro.experiments.presets import Preset, get_preset
+from repro.hw import (
+    ASCEND_AREA_CAP_MM2,
+    ascend_design_space,
+    design_space_for,
+    power_cap_for,
+)
+from repro.optim.hypervolume import hypervolume
+from repro.optim.pareto import pareto_front
+from repro.workloads import Network, get_network, merge_networks
+
+METHODS: Tuple[str, ...] = (
+    "unico",
+    "unico_no_r",
+    "msh_champion",
+    "sh_champion",
+    "hasco",
+    "nsgaii",
+    "mobohb",
+    "random",
+)
+
+_UNICO_VARIANTS: Dict[str, Dict[str, object]] = {
+    "unico": {
+        "use_msh": True,
+        "surrogate_update": "high_fidelity",
+        "include_robustness": True,
+    },
+    "unico_no_r": {
+        "use_msh": True,
+        "surrogate_update": "high_fidelity",
+        "include_robustness": False,
+    },
+    "msh_champion": {
+        "use_msh": True,
+        "surrogate_update": "champion",
+        "include_robustness": False,
+    },
+    "sh_champion": {
+        "use_msh": False,
+        "surrogate_update": "champion",
+        "include_robustness": False,
+    },
+}
+
+
+def resolve_workload(workload: Union[str, Network, Sequence[str]]) -> Network:
+    """Accept a network name, a Network, or a list of names (merged)."""
+    if isinstance(workload, Network):
+        return workload
+    if isinstance(workload, str):
+        return get_network(workload)
+    names = list(workload)
+    if len(names) == 1:
+        return get_network(names[0])
+    return merge_networks("+".join(names), [get_network(n) for n in names])
+
+
+def make_platform(scenario: str, network: Network):
+    """Return (design space, engine, caps dict, tool, workers) for a scenario."""
+    if scenario in ("edge", "cloud"):
+        space = design_space_for(scenario)
+        engine = MaestroEngine(network)
+        caps = {"power_cap_w": power_cap_for(scenario), "area_cap_mm2": None}
+        # UNICO runs its successive-halving jobs via multiprocessing on the
+        # server's cores (Section 3.5); the sequential-BO baselines cannot.
+        return space, engine, caps, "flextensor", 8
+    if scenario == "ascend":
+        space = ascend_design_space()
+        engine = AscendCAEngine(network, noise_fraction=0.08)
+        caps = {"power_cap_w": None, "area_cap_mm2": ASCEND_AREA_CAP_MM2}
+        return space, engine, caps, "fusion", 4
+    raise ConfigurationError(
+        f"unknown scenario {scenario!r}; use 'edge', 'cloud' or 'ascend'"
+    )
+
+
+def run_method(
+    method: str,
+    scenario: str,
+    workload: Union[str, Network, Sequence[str]],
+    preset: Union[str, Preset] = "smoke",
+    seed: int = 0,
+    time_budget_s: Optional[float] = None,
+) -> CoSearchResult:
+    """Run one (method, scenario, workload) cell and return its result."""
+    if method not in METHODS:
+        raise ConfigurationError(f"unknown method {method!r}; use one of {METHODS}")
+    preset = get_preset(preset) if isinstance(preset, str) else preset
+    network = resolve_workload(workload)
+    space, engine, caps, tool, workers = make_platform(scenario, network)
+
+    if method in _UNICO_VARIANTS:
+        variant = _UNICO_VARIANTS[method]
+        if scenario == "ascend":
+            batch, iters, budget = (
+                preset.ascend_batch,
+                preset.ascend_iterations,
+                preset.ascend_budget,
+            )
+        else:
+            batch, iters, budget = (
+                preset.unico_batch,
+                preset.unico_iterations,
+                preset.unico_budget,
+            )
+        initial_configs = ()
+        if scenario == "ascend":
+            # industrial tuning warm-starts from the expert default (§4.6)
+            from repro.hw import default_ascend_config
+
+            initial_configs = (default_ascend_config(),)
+        config = UnicoConfig(
+            batch_size=batch,
+            max_iterations=iters,
+            max_budget=budget,
+            workers=workers,
+            time_budget_s=time_budget_s,
+            initial_configs=initial_configs,
+            **variant,
+        )
+        optimizer = Unico(
+            space, network, engine, config, tool=tool, seed=seed, **caps
+        )
+    elif method == "hasco":
+        config = HascoConfig(
+            max_candidates=preset.hasco_candidates,
+            full_budget=preset.hasco_budget,
+            time_budget_s=time_budget_s,
+        )
+        optimizer = HascoBaseline(
+            space, network, engine, config, tool=tool, seed=seed, **caps
+        )
+    elif method == "nsgaii":
+        config = NSGA2CodesignConfig(
+            population_size=preset.nsga_population,
+            max_generations=preset.nsga_generations,
+            eval_budget=preset.nsga_budget,
+            time_budget_s=time_budget_s,
+        )
+        optimizer = NSGA2Codesign(
+            space, network, engine, config, tool=tool, seed=seed, **caps
+        )
+    elif method == "mobohb":
+        config = MobohbConfig(
+            max_budget=preset.mobohb_budget,
+            max_hyperband_loops=preset.mobohb_loops,
+            time_budget_s=time_budget_s,
+        )
+        optimizer = MobohbBaseline(
+            space, network, engine, config, tool=tool, seed=seed, **caps
+        )
+    else:  # random
+        config = RandomCodesignConfig(
+            max_candidates=preset.hasco_candidates,
+            full_budget=preset.hasco_budget,
+            time_budget_s=time_budget_s,
+        )
+        optimizer = RandomCodesign(
+            space, network, engine, config, tool=tool, seed=seed, **caps
+        )
+    result = optimizer.optimize()
+    result.extras["method_requested"] = method
+    result.extras["scenario"] = scenario
+    result.method = method
+    return result
+
+
+# -------------------------------------------------------------- HW transfer
+def sw_search_on(
+    hw,
+    workload: Union[str, Network, Sequence[str]],
+    scenario: str,
+    budget: int,
+    seed: int = 0,
+):
+    """Run a fresh SW mapping search for a *fixed* hardware on a workload.
+
+    This is the validation step of Sections 4.3-4.4: a hardware found by
+    co-optimization is applied to an unseen network with an individual
+    mapping search.  Returns the finished
+    :class:`~repro.core.evaluation.SWSearchTrial`.
+    """
+    from repro.core.evaluation import SWSearchTrial
+
+    network = resolve_workload(workload)
+    _space, engine, _caps, tool, _workers = make_platform(scenario, network)
+    trial = SWSearchTrial(hw, network, engine, tool=tool, seed=seed)
+    trial.run(budget)
+    return trial
+
+
+# ------------------------------------------------------------------ HV curves
+def combined_reference(
+    results: Sequence[CoSearchResult], margin: float = 1.1
+) -> np.ndarray:
+    """A shared HV reference point beyond every method's observations."""
+    all_points = [r.feasible_timeline_points() for r in results]
+    stacked = np.vstack([p for p in all_points if p.size]) if any(
+        p.size for p in all_points
+    ) else np.zeros((0, 3))
+    if stacked.size == 0:
+        raise ConfigurationError("no feasible points across results")
+    return stacked.max(axis=0) * margin + 1e-12
+
+
+def ideal_front(results: Sequence[CoSearchResult]) -> np.ndarray:
+    """The reference Pareto front: non-dominated union of all methods."""
+    points = [r.feasible_timeline_points() for r in results]
+    stacked = np.vstack([p for p in points if p.size])
+    return pareto_front(stacked)
+
+
+def hv_difference_curve(
+    result: CoSearchResult,
+    reference: np.ndarray,
+    ideal_hv: float,
+    time_grid_s: Sequence[float],
+) -> List[Tuple[float, float]]:
+    """HV difference vs simulated time, sampled on ``time_grid_s``.
+
+    At each grid time, the achieved front is the non-dominated set of all
+    feasible evaluations completed by then.
+    """
+    entries = sorted(result.timeline, key=lambda e: e.time_s)
+    curve: List[Tuple[float, float]] = []
+    accumulated: List[np.ndarray] = []
+    cursor = 0
+    for t in time_grid_s:
+        while cursor < len(entries) and entries[cursor].time_s <= t:
+            if entries[cursor].feasible:
+                accumulated.append(entries[cursor].ppa_vector)
+            cursor += 1
+        if accumulated:
+            achieved = hypervolume(np.vstack(accumulated), reference)
+        else:
+            achieved = 0.0
+        curve.append((float(t), max(0.0, ideal_hv - achieved)))
+    return curve
+
+
+def final_hypervolume(result: CoSearchResult, reference: np.ndarray) -> float:
+    """Hypervolume of all feasible evaluations w.r.t. ``reference``."""
+    points = result.feasible_timeline_points()
+    if points.size == 0:
+        return 0.0
+    return hypervolume(points, reference)
+
+
+def time_grid(
+    results: Sequence[CoSearchResult], num_points: int = 20
+) -> np.ndarray:
+    """A common simulated-time grid spanning every method's run."""
+    horizon = max(r.total_time_s for r in results)
+    return np.linspace(horizon / num_points, horizon, num_points)

@@ -1,0 +1,110 @@
+"""Budget presets for the experiment harness.
+
+The paper's runs burn tens of (real) hours per cell; the harness therefore
+supports three scales.  Absolute simulated costs still follow the paper's
+accounting (every PPA query charges modeled wall-clock) at every scale —
+smaller presets just evaluate fewer candidates:
+
+* ``smoke`` — seconds of real time; CI/unit tests.
+* ``bench`` — a couple of minutes per experiment; the default for the
+  ``benchmarks/`` suite that regenerates each table/figure.
+* ``paper`` — the paper's parameters (N = 30, b_max = 300, MaxIter = 10 on
+  the open platform; N = 8, MaxIter = 30, b_max = 200 on Ascend-like).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Preset:
+    """One budget scale for all methods (open-source platform)."""
+
+    name: str
+    # UNICO (and its ablation variants)
+    unico_batch: int
+    unico_iterations: int
+    unico_budget: int
+    # HASCO-like
+    hasco_candidates: int
+    hasco_budget: int
+    # NSGA-II
+    nsga_population: int
+    nsga_generations: int
+    nsga_budget: int
+    # MOBOHB
+    mobohb_budget: int
+    mobohb_loops: int
+    # Ascend-like deployment (Fig. 11)
+    ascend_batch: int
+    ascend_iterations: int
+    ascend_budget: int
+    # robustness-validation SW search budget (Figs. 8-9)
+    validation_budget: int
+
+
+_PRESETS = {
+    "smoke": Preset(
+        name="smoke",
+        unico_batch=6,
+        unico_iterations=2,
+        unico_budget=30,
+        hasco_candidates=6,
+        hasco_budget=30,
+        nsga_population=6,
+        nsga_generations=2,
+        nsga_budget=30,
+        mobohb_budget=27,
+        mobohb_loops=1,
+        ascend_batch=4,
+        ascend_iterations=2,
+        ascend_budget=20,
+        validation_budget=30,
+    ),
+    "bench": Preset(
+        name="bench",
+        unico_batch=10,
+        unico_iterations=4,
+        unico_budget=100,
+        hasco_candidates=24,
+        hasco_budget=100,
+        nsga_population=10,
+        nsga_generations=5,
+        nsga_budget=100,
+        mobohb_budget=81,
+        mobohb_loops=2,
+        ascend_batch=6,
+        ascend_iterations=4,
+        ascend_budget=60,
+        validation_budget=80,
+    ),
+    "paper": Preset(
+        name="paper",
+        unico_batch=30,
+        unico_iterations=10,
+        unico_budget=300,
+        hasco_candidates=60,
+        hasco_budget=300,
+        nsga_population=20,
+        nsga_generations=8,
+        nsga_budget=300,
+        mobohb_budget=243,
+        mobohb_loops=3,
+        ascend_batch=8,
+        ascend_iterations=30,
+        ascend_budget=200,
+        validation_budget=300,
+    ),
+}
+
+
+def get_preset(name: str) -> Preset:
+    """Look up a preset by name (``smoke`` / ``bench`` / ``paper``)."""
+    if name not in _PRESETS:
+        raise ConfigurationError(
+            f"unknown preset {name!r}; available: {sorted(_PRESETS)}"
+        )
+    return _PRESETS[name]

@@ -1,0 +1,182 @@
+"""Ascend-like commercial accelerator configuration and design space.
+
+Section 4.1 (Ascend-like platform): the search space covers the buffer sizes
+and bank groups of each of L0A, L0B, L0C, L1, the vector (unified) buffer and
+the parameter buffer, the ICache size, and the M/N/K cube dimensions —
+about 1e9 configurations.
+
+The memory hierarchy modeled (after Liao et al., HPCA'21 DaVinci):
+
+    DDR -> L1 (big on-chip) -> { L0A (left matrix), L0B (right matrix) }
+                                -> 3D cube (M x K x N MACs) -> L0C
+    L0C -> vector unit (unified buffer) -> out
+    parameter buffer / ICache feed the scalar pipeline.
+
+The expert-tuned default configuration (``default_ascend_config``) is the
+baseline that Fig. 11 compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hw.space import Dimension, DiscreteDesignSpace
+
+ASCEND_AREA_CAP_MM2 = 200.0  # edge-device chip area constraint of Section 4.6
+
+
+@dataclass(frozen=True)
+class AscendHWConfig:
+    """One Ascend-like core configuration.
+
+    Buffer sizes are in KB; bank groups control double/quad buffering of the
+    tile pipeline; ``cube_m/k/n`` are the 3D-cube MAC array dimensions (the
+    cube performs an (m x k) @ (k x n) matmul per cycle).
+    """
+
+    l0a_kb: int
+    l0b_kb: int
+    l0c_kb: int
+    l1_kb: int
+    ub_kb: int  # unified (vector) buffer
+    pb_kb: int  # parameter buffer
+    icache_kb: int
+    l0a_banks: int
+    l0b_banks: int
+    l0c_banks: int
+    cube_m: int
+    cube_k: int
+    cube_n: int
+
+    def __post_init__(self) -> None:
+        sizes = {
+            "l0a_kb": self.l0a_kb,
+            "l0b_kb": self.l0b_kb,
+            "l0c_kb": self.l0c_kb,
+            "l1_kb": self.l1_kb,
+            "ub_kb": self.ub_kb,
+            "pb_kb": self.pb_kb,
+            "icache_kb": self.icache_kb,
+        }
+        for field_name, value in sizes.items():
+            if value < 1:
+                raise ConfigurationError(f"{field_name} must be >= 1 KB, got {value}")
+        for field_name, value in (
+            ("l0a_banks", self.l0a_banks),
+            ("l0b_banks", self.l0b_banks),
+            ("l0c_banks", self.l0c_banks),
+        ):
+            if value < 1:
+                raise ConfigurationError(f"{field_name} must be >= 1, got {value}")
+        for field_name, value in (
+            ("cube_m", self.cube_m),
+            ("cube_k", self.cube_k),
+            ("cube_n", self.cube_n),
+        ):
+            if value < 1:
+                raise ConfigurationError(f"{field_name} must be >= 1, got {value}")
+
+    @property
+    def cube_macs_per_cycle(self) -> int:
+        return self.cube_m * self.cube_k * self.cube_n
+
+    @property
+    def total_sram_kb(self) -> int:
+        return (
+            self.l0a_kb
+            + self.l0b_kb
+            + self.l0c_kb
+            + self.l1_kb
+            + self.ub_kb
+            + self.pb_kb
+            + self.icache_kb
+        )
+
+    def short_name(self) -> str:
+        return (
+            f"cube{self.cube_m}x{self.cube_k}x{self.cube_n}_"
+            f"l0a{self.l0a_kb}_l0b{self.l0b_kb}_l0c{self.l0c_kb}_l1-{self.l1_kb}"
+        )
+
+    def with_updates(self, **kwargs: Any) -> "AscendHWConfig":
+        return replace(self, **kwargs)
+
+
+_BUFFER_GRID: Tuple[int, ...] = (8, 16, 32, 48, 64, 96, 128, 192, 256, 384, 512)
+_L1_GRID: Tuple[int, ...] = (256, 384, 512, 768, 1024, 1536, 2048)
+_SMALL_GRID: Tuple[int, ...] = (8, 16, 32, 64, 128)
+_BANKS: Tuple[int, ...] = (1, 2, 4)
+_CUBE_GRID: Tuple[int, ...] = (8, 16, 32)
+
+
+class AscendDesignSpace(DiscreteDesignSpace[AscendHWConfig]):
+    """Design space over :class:`AscendHWConfig` (~1e9 configurations)."""
+
+    def __init__(self) -> None:
+        dims = (
+            Dimension("l0a_kb", _BUFFER_GRID),
+            Dimension("l0b_kb", _BUFFER_GRID),
+            Dimension("l0c_kb", _BUFFER_GRID),
+            Dimension("l1_kb", _L1_GRID),
+            Dimension("ub_kb", _BUFFER_GRID),
+            Dimension("pb_kb", _SMALL_GRID),
+            Dimension("icache_kb", _SMALL_GRID),
+            Dimension("l0a_banks", _BANKS),
+            Dimension("l0b_banks", _BANKS),
+            Dimension("l0c_banks", _BANKS),
+            Dimension("cube_m", _CUBE_GRID),
+            Dimension("cube_k", _CUBE_GRID),
+            Dimension("cube_n", _CUBE_GRID),
+        )
+        super().__init__("ascend-like", dims)
+
+    def to_config(self, assignment: Dict[str, Any]) -> AscendHWConfig:
+        return AscendHWConfig(**assignment)
+
+    def from_config(self, config: AscendHWConfig) -> Dict[str, Any]:
+        return {
+            "l0a_kb": config.l0a_kb,
+            "l0b_kb": config.l0b_kb,
+            "l0c_kb": config.l0c_kb,
+            "l1_kb": config.l1_kb,
+            "ub_kb": config.ub_kb,
+            "pb_kb": config.pb_kb,
+            "icache_kb": config.icache_kb,
+            "l0a_banks": config.l0a_banks,
+            "l0b_banks": config.l0b_banks,
+            "l0c_banks": config.l0c_banks,
+            "cube_m": config.cube_m,
+            "cube_k": config.cube_k,
+            "cube_n": config.cube_n,
+        }
+
+
+def ascend_design_space() -> AscendDesignSpace:
+    """The Ascend-like design space of Section 4.1."""
+    return AscendDesignSpace()
+
+
+def default_ascend_config() -> AscendHWConfig:
+    """The expert-selected default architecture (Fig. 11 baseline).
+
+    Sizes follow the DaVinci convention of setting L0 buffers directly from
+    the cube parameters (the paper notes "the default values of these are
+    simply set by engineers by referring to cube parameters").
+    """
+    return AscendHWConfig(
+        l0a_kb=64,
+        l0b_kb=64,
+        l0c_kb=256,
+        l1_kb=1024,
+        ub_kb=256,
+        pb_kb=64,
+        icache_kb=32,
+        l0a_banks=2,
+        l0b_banks=2,
+        l0c_banks=2,
+        cube_m=16,
+        cube_k=16,
+        cube_n=16,
+    )

@@ -1,0 +1,148 @@
+"""Composable design constraints.
+
+Scenarios constrain designs differently — the edge/cloud scenarios cap
+power (Section 4.2), the industrial study caps area at 200 mm^2
+(Section 4.6), and real deployments stack further rules (frequency floors,
+buffer minimums).  A :class:`Constraint` judges a finished design's
+(hardware, PPA) pair; a :class:`ConstraintSet` composes them and reports
+*which* rule failed — feeding both the feasibility filter in
+``assemble_objectives`` and human-readable diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.costmodel.results import NetworkPPA
+from repro.errors import ConfigurationError
+
+
+class Constraint:
+    """One design rule; subclasses implement :meth:`satisfied`."""
+
+    name = "constraint"
+
+    def satisfied(self, hw, ppa: NetworkPPA) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PowerCap(Constraint):
+    """Total (dynamic + leakage) power must not exceed ``cap_w``."""
+
+    cap_w: float
+    name: str = "power-cap"
+
+    def __post_init__(self) -> None:
+        if self.cap_w <= 0:
+            raise ConfigurationError(f"power cap must be positive, got {self.cap_w}")
+
+    def satisfied(self, hw, ppa: NetworkPPA) -> bool:
+        return ppa.power_w <= self.cap_w
+
+    def describe(self) -> str:
+        return f"power <= {self.cap_w} W"
+
+
+@dataclass(frozen=True)
+class AreaCap(Constraint):
+    """Silicon area must not exceed ``cap_mm2``."""
+
+    cap_mm2: float
+    name: str = "area-cap"
+
+    def __post_init__(self) -> None:
+        if self.cap_mm2 <= 0:
+            raise ConfigurationError(f"area cap must be positive, got {self.cap_mm2}")
+
+    def satisfied(self, hw, ppa: NetworkPPA) -> bool:
+        return ppa.area_mm2 <= self.cap_mm2
+
+    def describe(self) -> str:
+        return f"area <= {self.cap_mm2} mm^2"
+
+
+@dataclass(frozen=True)
+class LatencyCap(Constraint):
+    """End-to-end latency must meet a real-time deadline."""
+
+    cap_s: float
+    name: str = "latency-cap"
+
+    def __post_init__(self) -> None:
+        if self.cap_s <= 0:
+            raise ConfigurationError(f"latency cap must be positive, got {self.cap_s}")
+
+    def satisfied(self, hw, ppa: NetworkPPA) -> bool:
+        return ppa.latency_s <= self.cap_s
+
+    def describe(self) -> str:
+        return f"latency <= {self.cap_s * 1e3:g} ms"
+
+
+@dataclass(frozen=True)
+class MinBufferBytes(Constraint):
+    """A named buffer attribute of the HW config must be at least a floor.
+
+    Useful for expert-imposed minimums (e.g. "never ship less than 32 KB
+    of L1") in industrial searches.
+    """
+
+    attribute: str
+    minimum: int
+    name: str = "min-buffer"
+
+    def satisfied(self, hw, ppa: NetworkPPA) -> bool:
+        return getattr(hw, self.attribute, 0) >= self.minimum
+
+    def describe(self) -> str:
+        return f"{self.attribute} >= {self.minimum}"
+
+
+class ConstraintSet:
+    """An all-of composition with per-rule failure reporting."""
+
+    def __init__(self, constraints: Sequence[Constraint] = ()):
+        self.constraints: Tuple[Constraint, ...] = tuple(constraints)
+
+    @classmethod
+    def from_caps(
+        cls,
+        power_cap_w: Optional[float] = None,
+        area_cap_mm2: Optional[float] = None,
+        latency_cap_s: Optional[float] = None,
+    ) -> "ConstraintSet":
+        """Build the common cap set from optional scalar limits."""
+        rules: List[Constraint] = []
+        if power_cap_w is not None:
+            rules.append(PowerCap(power_cap_w))
+        if area_cap_mm2 is not None:
+            rules.append(AreaCap(area_cap_mm2))
+        if latency_cap_s is not None:
+            rules.append(LatencyCap(latency_cap_s))
+        return cls(rules)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def check(self, hw, ppa: NetworkPPA) -> Tuple[bool, List[str]]:
+        """Returns (all satisfied, descriptions of violated rules)."""
+        violations = [
+            rule.describe()
+            for rule in self.constraints
+            if not rule.satisfied(hw, ppa)
+        ]
+        return (not violations, violations)
+
+    def satisfied(self, hw, ppa: NetworkPPA) -> bool:
+        ok, _violations = self.check(hw, ppa)
+        return ok
+
+    def describe(self) -> str:
+        if not self.constraints:
+            return "unconstrained"
+        return " AND ".join(rule.describe() for rule in self.constraints)

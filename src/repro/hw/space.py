@@ -1,0 +1,247 @@
+"""Generic discrete hardware design-space machinery.
+
+Both platforms (the open-source spatial accelerator and the Ascend-like
+core) are described as Cartesian products of named discrete dimensions.
+:class:`DiscreteDesignSpace` provides the operations every search algorithm
+in the library needs:
+
+* uniform sampling and mutation (for genetic / random baselines),
+* ordinal encoding of configurations into ``[0, 1]^d`` vectors and decoding
+  back (for the GP surrogate and acquisition optimization),
+* cardinality and membership checks.
+
+Concrete spaces subclass it, supply dimension grids, and implement
+``to_config`` / ``from_config`` to translate between assignment dicts and
+typed config dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generic, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.errors import DesignSpaceError
+from repro.utils.rng import SeedLike, as_generator
+
+ConfigT = TypeVar("ConfigT")
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One named discrete axis with an ordered choice grid."""
+
+    name: str
+    choices: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise DesignSpaceError(f"dimension {self.name!r} has no choices")
+        if len(set(self.choices)) != len(self.choices):
+            raise DesignSpaceError(f"dimension {self.name!r} has duplicate choices")
+
+    def __len__(self) -> int:
+        return len(self.choices)
+
+    def index_of(self, value: Any) -> int:
+        try:
+            return self.choices.index(value)
+        except ValueError:
+            raise DesignSpaceError(
+                f"value {value!r} not in dimension {self.name!r}"
+            ) from None
+
+    def encode(self, value: Any) -> float:
+        """Map a choice to its normalized ordinal position in [0, 1]."""
+        if len(self.choices) == 1:
+            return 0.0
+        return self.index_of(value) / (len(self.choices) - 1)
+
+    def decode(self, coordinate: float) -> Any:
+        """Map a [0, 1] coordinate to the nearest grid choice."""
+        position = float(np.clip(coordinate, 0.0, 1.0)) * (len(self.choices) - 1)
+        return self.choices[int(round(position))]
+
+
+class DiscreteDesignSpace(Generic[ConfigT]):
+    """A Cartesian product of :class:`Dimension` axes with typed configs."""
+
+    def __init__(self, name: str, dimensions: Sequence[Dimension]):
+        if not dimensions:
+            raise DesignSpaceError(f"design space {name!r} has no dimensions")
+        names = [dim.name for dim in dimensions]
+        if len(set(names)) != len(names):
+            raise DesignSpaceError(f"design space {name!r} has duplicate dimensions")
+        self.name = name
+        self.dimensions: Tuple[Dimension, ...] = tuple(dimensions)
+        self._by_name: Dict[str, Dimension] = {dim.name: dim for dim in dimensions}
+
+    # -- subclass contract -------------------------------------------------
+    def to_config(self, assignment: Dict[str, Any]) -> ConfigT:
+        """Build a typed config from a full dimension assignment."""
+        raise NotImplementedError
+
+    def from_config(self, config: ConfigT) -> Dict[str, Any]:
+        """Extract the dimension assignment from a typed config."""
+        raise NotImplementedError
+
+    # -- generic operations -------------------------------------------------
+    @property
+    def num_dimensions(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def size(self) -> int:
+        """Cardinality of the Cartesian product."""
+        total = 1
+        for dim in self.dimensions:
+            total *= len(dim)
+        return total
+
+    def dimension(self, name: str) -> Dimension:
+        if name not in self._by_name:
+            raise DesignSpaceError(f"no dimension {name!r} in space {self.name!r}")
+        return self._by_name[name]
+
+    def contains(self, config: ConfigT) -> bool:
+        try:
+            assignment = self.from_config(config)
+            for name, value in assignment.items():
+                self.dimension(name).index_of(value)
+        except DesignSpaceError:
+            return False
+        return True
+
+    def validate(self, config: ConfigT) -> None:
+        if not self.contains(config):
+            raise DesignSpaceError(
+                f"config {config!r} is outside design space {self.name!r}"
+            )
+
+    def sample(self, seed: SeedLike = None) -> ConfigT:
+        """Draw one uniform-random configuration."""
+        rng = as_generator(seed)
+        assignment = {
+            dim.name: dim.choices[int(rng.integers(0, len(dim)))]
+            for dim in self.dimensions
+        }
+        return self.to_config(assignment)
+
+    def sample_batch(
+        self, count: int, seed: SeedLike = None, unique: bool = True
+    ) -> List[ConfigT]:
+        """Draw ``count`` configurations, de-duplicated when ``unique``."""
+        if count < 0:
+            raise DesignSpaceError(f"count must be non-negative, got {count}")
+        rng = as_generator(seed)
+        if not unique:
+            return [self.sample(rng) for _ in range(count)]
+        seen: set = set()
+        batch: List[ConfigT] = []
+        attempts = 0
+        max_attempts = max(1000, 50 * count)
+        while len(batch) < count and attempts < max_attempts:
+            candidate = self.sample(rng)
+            key = tuple(self.encode(candidate))
+            if key not in seen:
+                seen.add(key)
+                batch.append(candidate)
+            attempts += 1
+        if len(batch) < count:
+            raise DesignSpaceError(
+                f"could not draw {count} unique configs from {self.name!r} "
+                f"(size {self.size})"
+            )
+        return batch
+
+    def encode(self, config: ConfigT) -> np.ndarray:
+        """Encode a config as a normalized ordinal vector in [0, 1]^d."""
+        assignment = self.from_config(config)
+        return np.array(
+            [dim.encode(assignment[dim.name]) for dim in self.dimensions],
+            dtype=float,
+        )
+
+    def decode(self, vector: np.ndarray) -> ConfigT:
+        """Decode a [0, 1]^d vector to the nearest grid configuration."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self.num_dimensions,):
+            raise DesignSpaceError(
+                f"expected vector of shape ({self.num_dimensions},), "
+                f"got {vector.shape}"
+            )
+        assignment = {
+            dim.name: dim.decode(vector[i]) for i, dim in enumerate(self.dimensions)
+        }
+        return self.to_config(assignment)
+
+    def mutate(
+        self,
+        config: ConfigT,
+        seed: SeedLike = None,
+        num_moves: int = 1,
+        step: int = 2,
+    ) -> ConfigT:
+        """Return a neighbor: ``num_moves`` dimensions stepped on their grid.
+
+        Each move shifts one dimension's index by up to ``step`` positions —
+        a local move in the ordinal geometry, which is the metric the GP
+        encoding uses too.
+        """
+        rng = as_generator(seed)
+        assignment = self.from_config(config)
+        move_dims = rng.choice(
+            self.num_dimensions, size=min(num_moves, self.num_dimensions), replace=False
+        )
+        for dim_index in move_dims:
+            dim = self.dimensions[int(dim_index)]
+            current = dim.index_of(assignment[dim.name])
+            offset = 0
+            while offset == 0:
+                offset = int(rng.integers(-step, step + 1))
+            new_index = int(np.clip(current + offset, 0, len(dim) - 1))
+            assignment[dim.name] = dim.choices[new_index]
+        return self.to_config(assignment)
+
+    def crossover(
+        self, parent_a: ConfigT, parent_b: ConfigT, seed: SeedLike = None
+    ) -> ConfigT:
+        """Uniform crossover of two configs (for genetic baselines)."""
+        rng = as_generator(seed)
+        assign_a = self.from_config(parent_a)
+        assign_b = self.from_config(parent_b)
+        child = {
+            name: assign_a[name] if rng.random() < 0.5 else assign_b[name]
+            for name in assign_a
+        }
+        return self.to_config(child)
+
+    def config_key(self, config: ConfigT) -> Tuple[Any, ...]:
+        """A hashable identity for de-duplication."""
+        assignment = self.from_config(config)
+        return tuple(assignment[dim.name] for dim in self.dimensions)
+
+    def grid_iter(self, max_configs: Optional[int] = None):
+        """Iterate the full grid (guarded; only for small spaces/tests)."""
+        import itertools
+
+        limit = self.size if max_configs is None else max_configs
+        if max_configs is None and self.size > 1_000_000:
+            raise DesignSpaceError(
+                f"refusing to enumerate space {self.name!r} of size {self.size}; "
+                "pass max_configs explicitly"
+            )
+        produced = 0
+        for values in itertools.product(*(dim.choices for dim in self.dimensions)):
+            if produced >= limit:
+                return
+            assignment = dict(zip((d.name for d in self.dimensions), values))
+            yield self.to_config(assignment)
+            produced += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, dims={self.num_dimensions}, "
+            f"size={self.size:.3g})"
+        )

@@ -1,0 +1,184 @@
+"""The open-source 2D spatial accelerator template (Fig. 1) and its spaces.
+
+Design parameters follow Section 4.1 exactly:
+
+* PE array shape ``(pe_x, pe_y)`` from 1x1 up to 24x24,
+* per-PE private scratchpad ``L1 in {2^i * 3^j} bytes``,
+* shared global buffer ``L2 in {2^i * 3^j} KB``,
+* NoC bandwidth in {64, 128} bytes/cycle,
+* dataflow style: weight-stationary (``"ws"``) or output-stationary
+  (``"os"``) for the GEMMCore intrinsic.
+
+Two search scenarios are provided: **edge** (~1e5 configurations, power cap
+2 W downstream) and **cloud** (~1e9 configurations, power cap 20 W).  The
+cloud space reaches the full grids and additionally opens L1/L2 banking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hw.space import Dimension, DiscreteDesignSpace
+from repro.utils.intmath import power_two_three_grid
+
+DATAFLOWS: Tuple[str, ...] = ("ws", "os")
+
+EDGE_POWER_CAP_W = 2.0
+CLOUD_POWER_CAP_W = 20.0
+
+
+@dataclass(frozen=True)
+class SpatialHWConfig:
+    """One concrete instance of the spatial-accelerator template.
+
+    Attributes
+    ----------
+    pe_x, pe_y:
+        PE array shape.
+    l1_bytes:
+        Private scratchpad size per PE, in bytes.
+    l2_kb:
+        Shared global buffer size, in KB.
+    noc_bw:
+        NoC bandwidth in bytes per cycle (global buffer <-> PE array).
+    dataflow:
+        ``"ws"`` (weight stationary) or ``"os"`` (output stationary).
+    l1_banks, l2_banks:
+        Banking factors; more banks raise concurrency (and area) slightly.
+    """
+
+    pe_x: int
+    pe_y: int
+    l1_bytes: int
+    l2_kb: int
+    noc_bw: int
+    dataflow: str
+    l1_banks: int = 2
+    l2_banks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.pe_x < 1 or self.pe_y < 1:
+            raise ConfigurationError(f"PE array must be >= 1x1, got {self.pe_x}x{self.pe_y}")
+        if self.l1_bytes < 1 or self.l2_kb < 1:
+            raise ConfigurationError("buffer sizes must be positive")
+        if self.dataflow not in DATAFLOWS:
+            raise ConfigurationError(
+                f"dataflow must be one of {DATAFLOWS}, got {self.dataflow!r}"
+            )
+        if self.noc_bw < 1:
+            raise ConfigurationError(f"noc_bw must be positive, got {self.noc_bw}")
+        if self.l1_banks < 1 or self.l2_banks < 1:
+            raise ConfigurationError("bank counts must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        return self.pe_x * self.pe_y
+
+    @property
+    def l1_total_bytes(self) -> int:
+        """Aggregate private scratchpad across the PE array."""
+        return self.l1_bytes * self.num_pes
+
+    @property
+    def l2_bytes(self) -> int:
+        return self.l2_kb * 1024
+
+    def short_name(self) -> str:
+        return (
+            f"pe{self.pe_x}x{self.pe_y}_l1-{self.l1_bytes}B_l2-{self.l2_kb}KB_"
+            f"noc{self.noc_bw}_{self.dataflow}"
+        )
+
+
+class SpatialDesignSpace(DiscreteDesignSpace[SpatialHWConfig]):
+    """Design space over :class:`SpatialHWConfig`."""
+
+    def __init__(self, name: str, dimensions):
+        super().__init__(name, dimensions)
+
+    def to_config(self, assignment: Dict[str, Any]) -> SpatialHWConfig:
+        return SpatialHWConfig(
+            pe_x=assignment["pe_x"],
+            pe_y=assignment["pe_y"],
+            l1_bytes=assignment["l1_bytes"],
+            l2_kb=assignment["l2_kb"],
+            noc_bw=assignment["noc_bw"],
+            dataflow=assignment["dataflow"],
+            l1_banks=assignment.get("l1_banks", 2),
+            l2_banks=assignment.get("l2_banks", 2),
+        )
+
+    def from_config(self, config: SpatialHWConfig) -> Dict[str, Any]:
+        assignment = {
+            "pe_x": config.pe_x,
+            "pe_y": config.pe_y,
+            "l1_bytes": config.l1_bytes,
+            "l2_kb": config.l2_kb,
+            "noc_bw": config.noc_bw,
+            "dataflow": config.dataflow,
+        }
+        if "l1_banks" in self._by_name:
+            assignment["l1_banks"] = config.l1_banks
+        if "l2_banks" in self._by_name:
+            assignment["l2_banks"] = config.l2_banks
+        return assignment
+
+
+def edge_design_space() -> SpatialDesignSpace:
+    """The edge scenario: ~1e5 configurations, small buffers & arrays.
+
+    L1 grid uses ``2^i * 3^j`` with i <= 8, j <= 2 (64 B .. 9 KB usable),
+    L2 with i <= 8, j <= 2 KB; PEs up to 16x16.
+    """
+    l1_grid = tuple(
+        v for v in power_two_three_grid(8, 2) if 64 <= v <= 16 * 1024
+    )
+    l2_grid = tuple(v for v in power_two_three_grid(8, 2) if 8 <= v <= 1024)
+    dims = (
+        Dimension("pe_x", tuple(range(1, 17))),
+        Dimension("pe_y", tuple(range(1, 17))),
+        Dimension("l1_bytes", l1_grid),
+        Dimension("l2_kb", l2_grid),
+        Dimension("noc_bw", (64, 128)),
+        Dimension("dataflow", DATAFLOWS),
+    )
+    return SpatialDesignSpace("spatial-edge", dims)
+
+
+def cloud_design_space() -> SpatialDesignSpace:
+    """The cloud scenario: ~1e9 configurations, full grids plus banking."""
+    l1_grid = tuple(
+        v for v in power_two_three_grid(10, 10) if 64 <= v <= 512 * 1024
+    )
+    l2_grid = tuple(v for v in power_two_three_grid(10, 10) if 8 <= v <= 64 * 1024)
+    dims = (
+        Dimension("pe_x", tuple(range(1, 25))),
+        Dimension("pe_y", tuple(range(1, 25))),
+        Dimension("l1_bytes", l1_grid),
+        Dimension("l2_kb", l2_grid),
+        Dimension("noc_bw", (64, 128)),
+        Dimension("dataflow", DATAFLOWS),
+        Dimension("l1_banks", (1, 2, 4, 8)),
+        Dimension("l2_banks", (1, 2, 4, 8)),
+    )
+    return SpatialDesignSpace("spatial-cloud", dims)
+
+
+def design_space_for(scenario: str) -> SpatialDesignSpace:
+    """Return the design space for ``"edge"`` or ``"cloud"``."""
+    if scenario == "edge":
+        return edge_design_space()
+    if scenario == "cloud":
+        return cloud_design_space()
+    raise ConfigurationError(f"unknown scenario {scenario!r}; use 'edge' or 'cloud'")
+
+
+def power_cap_for(scenario: str) -> float:
+    """Power constraint (W) for a scenario, per Section 4.2."""
+    if scenario == "edge":
+        return EDGE_POWER_CAP_W
+    if scenario == "cloud":
+        return CLOUD_POWER_CAP_W
+    raise ConfigurationError(f"unknown scenario {scenario!r}; use 'edge' or 'cloud'")

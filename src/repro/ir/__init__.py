@@ -1,0 +1,22 @@
+"""Tensor-program IR: loop nests, scheduling primitives and lowering.
+
+The DSL-and-scheduling view of Section 2: a statement's canonical loop
+nest is transformed by split/reorder/bind/fuse primitives and lowered onto
+the GEMMCore intrinsic's mapping representation (and raised back), giving
+the mapping layer a verifiable semantics.
+"""
+
+from repro.ir.loopnest import BINDINGS, Loop, LoopNest, gemm_domain
+from repro.ir.lowering import lower_to_mapping, raise_from_mapping
+from repro.ir.schedule import Primitive, Schedule
+
+__all__ = [
+    "BINDINGS",
+    "Loop",
+    "LoopNest",
+    "gemm_domain",
+    "lower_to_mapping",
+    "raise_from_mapping",
+    "Primitive",
+    "Schedule",
+]

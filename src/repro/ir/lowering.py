@@ -1,0 +1,139 @@
+"""Lowering scheduled loop nests onto the GEMMCore intrinsic.
+
+A scheduled GEMM nest lowers to a
+:class:`~repro.mapping.gemm_mapping.GemmMapping` when it matches the
+intrinsic's shape contract:
+
+* exactly two spatially bound axes, one on each PE-array dimension, over
+  two *different* GEMM dims drawn from {m, n} (the intrinsic computes an
+  output tile in parallel);
+* the tile each DRAM-level iteration covers is the product of all
+  non-outermost axes per dim (outermost axis per dim = the inter-tile
+  loop);
+* the inter-tile loop order is the relative order of those outermost axes.
+
+:func:`lower_to_mapping` performs the match and returns the mapping;
+:func:`raise_from_mapping` is the inverse — it reconstructs a canonical
+scheduled nest from a mapping, which makes lowering round-trippable and
+lets tests verify the two representations agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import MappingError
+from repro.ir.loopnest import Loop, LoopNest, gemm_domain
+from repro.mapping.gemm_mapping import GemmMapping, UNROLL_CHOICES
+
+
+def _tile_sizes(nest: LoopNest) -> Dict[str, int]:
+    """Per-dim tile = product of extents of all but the outermost axis."""
+    tiles: Dict[str, int] = {}
+    for dim, _size in nest.domain:
+        axes = [l for l in nest.loops if l.dim == dim]
+        if not axes:
+            raise MappingError(f"nest has no axis over dim {dim!r}")
+        tile = 1
+        for axis in axes[1:]:
+            tile *= axis.extent
+        tiles[dim] = tile
+    return tiles
+
+
+def _outer_order(nest: LoopNest) -> Tuple[str, str, str]:
+    """Relative order of each dim's outermost axis."""
+    firsts: List[Tuple[int, str]] = []
+    seen = set()
+    for position, loop in enumerate(nest.loops):
+        if loop.dim not in seen:
+            seen.add(loop.dim)
+            firsts.append((position, loop.dim))
+    firsts.sort()
+    order = tuple(dim for _pos, dim in firsts)
+    if sorted(order) != ["k", "m", "n"]:
+        raise MappingError(f"nest does not cover the GEMM dims: {order}")
+    return order  # type: ignore[return-value]
+
+
+def lower_to_mapping(nest: LoopNest) -> GemmMapping:
+    """Lower a scheduled GEMM nest to a :class:`GemmMapping`.
+
+    Raises :class:`MappingError` when the nest does not satisfy the
+    intrinsic's contract (see module docstring).
+    """
+    if not nest.is_equivalent_to_domain():
+        raise MappingError("nest does not preserve the iteration domain")
+    spatial = nest.spatial_loops()
+    if len(spatial) != 2:
+        raise MappingError(
+            f"GEMMCore needs exactly 2 spatial axes, found {len(spatial)}"
+        )
+    bindings = {loop.binding: loop for loop in spatial}
+    if set(bindings) != {"spatial_x", "spatial_y"}:
+        raise MappingError("need one spatial_x and one spatial_y axis")
+    x_dim = bindings["spatial_x"].dim
+    y_dim = bindings["spatial_y"].dim
+    if {x_dim, y_dim} != {"m", "n"}:
+        raise MappingError(
+            f"spatial axes must cover m and n, got {x_dim!r}, {y_dim!r}"
+        )
+    spatial_mode = "mn" if x_dim == "m" else "nm"
+
+    unrolled = [l for l in nest.loops if l.binding == "unroll"]
+    unroll = 1
+    if unrolled:
+        if len(unrolled) > 1:
+            raise MappingError("at most one unrolled axis is supported")
+        if unrolled[0].dim != "k":
+            raise MappingError("only the reduction axis may be unrolled")
+        unroll = unrolled[0].extent
+        if unroll not in UNROLL_CHOICES:
+            raise MappingError(
+                f"unroll extent {unroll} not a supported factor {UNROLL_CHOICES}"
+            )
+
+    tiles = _tile_sizes(nest)
+    return GemmMapping(
+        tile_m=tiles["m"],
+        tile_n=tiles["n"],
+        tile_k=tiles["k"],
+        loop_order=_outer_order(nest),
+        spatial=spatial_mode,
+        unroll=unroll,
+    )
+
+
+def raise_from_mapping(mapping: GemmMapping, m: int, n: int, k: int) -> LoopNest:
+    """Reconstruct the canonical scheduled nest of a mapping.
+
+    The inverse of :func:`lower_to_mapping` up to axis naming: inter-tile
+    loops in the mapping's order, then the spatial pair, then the per-PE
+    temporal remainder with the unroll split on k.
+    """
+    if m % mapping.tile_m or n % mapping.tile_n or k % mapping.tile_k:
+        raise MappingError(
+            "mapping tiles must divide the problem "
+            f"({m}, {n}, {k}) % {(mapping.tile_m, mapping.tile_n, mapping.tile_k)}"
+        )
+    trips = {
+        "m": m // mapping.tile_m,
+        "n": n // mapping.tile_n,
+        "k": k // mapping.tile_k,
+    }
+    tiles = {"m": mapping.tile_m, "n": mapping.tile_n, "k": mapping.tile_k}
+    loops: List[Loop] = [
+        Loop(dim=dim, name=f"{dim}.0", extent=trips[dim])
+        for dim in mapping.loop_order
+    ]
+    x_dim, y_dim = ("m", "n") if mapping.spatial == "mn" else ("n", "m")
+    loops.append(Loop(dim=x_dim, name=f"{x_dim}.1", extent=tiles[x_dim], binding="spatial_x"))
+    loops.append(Loop(dim=y_dim, name=f"{y_dim}.1", extent=tiles[y_dim], binding="spatial_y"))
+    k_tile = tiles["k"]
+    unroll = mapping.unroll if mapping.unroll <= k_tile and k_tile % mapping.unroll == 0 else 1
+    if unroll > 1:
+        loops.append(Loop(dim="k", name="k.1", extent=k_tile // unroll))
+        loops.append(Loop(dim="k", name="k.2", extent=unroll, binding="unroll"))
+    else:
+        loops.append(Loop(dim="k", name="k.1", extent=k_tile))
+    return LoopNest(loops=tuple(loops), domain=gemm_domain(m, n, k))

@@ -1,0 +1,109 @@
+"""Recorded schedules: replayable primitive sequences over a loop nest.
+
+A :class:`Schedule` is the auto-scheduler-facing object: it records the
+primitive calls (split / reorder / bind / fuse) applied to a statement's
+canonical nest, can replay them onto a fresh nest, and serializes to plain
+JSON for logging search traces.  This mirrors how FlexTensor/Ansor-style
+tools persist schedules, and gives the mapping layer a second, equivalent
+encoding (mapping <-> primitive trace) exercised by the IR tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import MappingError
+from repro.ir.loopnest import LoopNest
+
+_PRIMITIVES = ("split", "reorder", "bind", "fuse")
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One recorded scheduling step."""
+
+    kind: str
+    args: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in _PRIMITIVES:
+            raise MappingError(f"unknown primitive {self.kind!r}")
+
+
+@dataclass
+class Schedule:
+    """A primitive trace plus its current (applied) nest."""
+
+    base: LoopNest
+    nest: LoopNest = None  # type: ignore[assignment]
+    trace: List[Primitive] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.nest is None:
+            self.nest = self.base
+
+    # ---------------------------------------------------------------- actions
+    def split(self, name: str, factor: int) -> "Schedule":
+        self.nest = self.nest.split(name, factor)
+        self.trace.append(Primitive("split", (name, factor)))
+        return self
+
+    def reorder(self, order: Sequence[str]) -> "Schedule":
+        self.nest = self.nest.reorder(tuple(order))
+        self.trace.append(Primitive("reorder", tuple(order)))
+        return self
+
+    def bind(self, name: str, binding: str) -> "Schedule":
+        self.nest = self.nest.bind(name, binding)
+        self.trace.append(Primitive("bind", (name, binding)))
+        return self
+
+    def fuse(self, first: str, second: str) -> "Schedule":
+        self.nest = self.nest.fuse(first, second)
+        self.trace.append(Primitive("fuse", (first, second)))
+        return self
+
+    # ------------------------------------------------------------------ tools
+    def replay(self, base: LoopNest = None) -> LoopNest:
+        """Re-apply the trace to ``base`` (default: the original nest)."""
+        nest = base if base is not None else self.base
+        for step in self.trace:
+            if step.kind == "split":
+                nest = nest.split(*step.args)
+            elif step.kind == "reorder":
+                nest = nest.reorder(step.args)
+            elif step.kind == "bind":
+                nest = nest.bind(*step.args)
+            else:
+                nest = nest.fuse(*step.args)
+        return nest
+
+    def to_dict(self) -> Dict:
+        return {
+            "domain": list(self.base.domain),
+            "trace": [
+                {"kind": step.kind, "args": list(step.args)} for step in self.trace
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Schedule":
+        base = LoopNest.from_domain(
+            [(dim, size) for dim, size in payload["domain"]]
+        )
+        schedule = cls(base=base)
+        for step in payload["trace"]:
+            kind = step["kind"]
+            args = step["args"]
+            if kind == "split":
+                schedule.split(args[0], args[1])
+            elif kind == "reorder":
+                schedule.reorder(args)
+            elif kind == "bind":
+                schedule.bind(args[0], args[1])
+            elif kind == "fuse":
+                schedule.fuse(args[0], args[1])
+            else:
+                raise MappingError(f"unknown primitive {kind!r} in payload")
+        return schedule

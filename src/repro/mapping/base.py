@@ -1,0 +1,279 @@
+"""Anytime software-mapping search framework.
+
+UNICO treats the SW mapping tool as an *iterative, resumable* optimizer
+(Section 2.1): given extra budget it keeps improving, and its best-so-far
+objective is monotonically non-increasing.  :class:`AnytimeMappingSearch`
+encodes that contract so successive halving can run a tool in rounds:
+
+    search = FlexTensorSearch(network, hw, engine, seed=...)
+    search.run(additional_budget=30)   # round 1
+    search.run(additional_budget=60)   # promoted: round 2 continues in place
+
+Bookkeeping exposed to UNICO:
+
+* ``history`` — one :class:`MappingSearchPoint` per consumed budget unit,
+  carrying the *trial* network objective (what the objective would be if the
+  just-proposed candidate were adopted) and the *best* objective so far,
+  plus latency/power of the best network mapping.  The trial series is what
+  the robustness metric's 95%-right-tail rule operates on; the best series
+  is what MSH's AUC uses.
+* ``best_mapping`` / ``best_ppa`` — incumbent full-network mapping.
+
+One budget unit = one candidate-mapping evaluation on the PPA engine.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.costmodel.results import LayerPPA, NetworkPPA
+from repro.errors import SearchBudgetError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from repro.costmodel.engine import PPAEngine
+from repro.mapping.gemm_mapping import (
+    GemmMapping,
+    GemmMappingSpace,
+    NetworkMapping,
+)
+from repro.utils.rng import SeedLike, as_generator
+from repro.workloads.network import Network
+
+_INFEASIBLE_OBJECTIVE = float("inf")
+
+
+@dataclass(frozen=True)
+class MappingSearchPoint:
+    """One step of the search trace.
+
+    ``trial_*`` describe the network state *if the just-proposed candidate
+    were adopted* (the raw loss history the robustness metric samples);
+    ``best_*`` describe the incumbent after the step (the monotone curve
+    MSH's AUC integrates).
+    """
+
+    step: int
+    trial_objective: float
+    trial_latency_s: float
+    trial_power_w: float
+    best_objective: float
+    best_latency_s: float
+    best_power_w: float
+
+
+class AnytimeMappingSearch(ABC):
+    """Base class: per-layer incumbent tracking + network-level accounting.
+
+    Subclasses implement :meth:`_propose`, returning the next
+    ``(layer_name, candidate_mapping)`` to evaluate, and may override
+    :meth:`_on_result` to update internal strategy state.
+    """
+
+    #: human-readable tool name (reported in experiment records)
+    name = "anytime"
+
+    def __init__(
+        self,
+        network: Network,
+        hw,
+        engine: "PPAEngine",
+        objective: str = "latency",
+        seed: SeedLike = None,
+    ):
+        if objective not in ("latency", "edp"):
+            raise SearchBudgetError(f"unknown objective {objective!r}")
+        self.network = network
+        self.hw = hw
+        self.engine = engine
+        self.objective = objective
+        self.rng = as_generator(seed)
+        self.spaces: Dict[str, GemmMappingSpace] = {
+            layer.name: self._make_space(layer) for layer in network.layers
+        }
+        self.layer_counts: Dict[str, int] = {
+            layer.name: layer.count for layer in network.layers
+        }
+        self.layer_names: List[str] = [layer.name for layer in network.layers]
+        self.best_layer_mapping: Dict[str, GemmMapping] = {}
+        self.best_layer_result: Dict[str, LayerPPA] = {}
+        self.history: List[MappingSearchPoint] = []
+        self.spent_budget = 0
+        self._initialize_incumbents()
+
+    # ------------------------------------------------------------------ setup
+    def _make_space(self, layer):
+        """Mapping-space factory; platforms with different mapping types
+        (e.g. the Ascend-like fusion space) override this."""
+        return GemmMappingSpace(layer.to_gemm())
+
+    def _seed_mapping(self, space) -> GemmMapping:
+        """Heuristic starting point for one layer on ``self.hw``."""
+        return space.seeded_mapping_for(self.hw)
+
+    def _minimal_mapping(self, space) -> GemmMapping:
+        """Smallest-footprint mapping, used as the last-resort seed."""
+        return GemmMapping(1, 1, 1)
+
+    def _feasible_seed(self, layer_name: str) -> Tuple[GemmMapping, LayerPPA]:
+        """Find a feasible starting mapping, shrinking tiles as needed."""
+        space = self.spaces[layer_name]
+        candidate = self._seed_mapping(space)
+        result = self.engine.evaluate_layer(self.hw, candidate, layer_name)
+        shrink_round = 0
+        while not result.feasible and shrink_round < 24:
+            tm, tn, tk = candidate.tiles()
+            if tk > 1:
+                tk = max(1, tk // 2)
+            elif tn > 1:
+                tn = max(1, tn // 2)
+            else:
+                tm = max(1, tm // 2)
+            from repro.utils.intmath import nearest_divisor
+
+            candidate = candidate.with_tiles(
+                nearest_divisor(space.shape.m, tm),
+                nearest_divisor(space.shape.n, tn),
+                nearest_divisor(space.shape.k, tk),
+            )
+            result = self.engine.evaluate_layer(self.hw, candidate, layer_name)
+            shrink_round += 1
+        if not result.feasible:
+            candidate = self._minimal_mapping(space)
+            result = self.engine.evaluate_layer(self.hw, candidate, layer_name)
+        return candidate, result
+
+    def _initialize_incumbents(self) -> None:
+        for layer_name in self.layer_names:
+            mapping, result = self._feasible_seed(layer_name)
+            self.best_layer_mapping[layer_name] = mapping
+            self.best_layer_result[layer_name] = result
+
+    # --------------------------------------------------------------- strategy
+    @abstractmethod
+    def _propose(self) -> Tuple[str, GemmMapping]:
+        """Return the next (layer, candidate mapping) to evaluate."""
+
+    def _on_result(
+        self, layer_name: str, mapping: GemmMapping, result: LayerPPA, improved: bool
+    ) -> None:
+        """Hook for strategy state updates (acceptance, populations, ...)."""
+
+    # -------------------------------------------------------------- accounting
+    def _network_totals(self) -> Tuple[float, float]:
+        """(total latency s, total energy J) of the incumbent mapping."""
+        latency = 0.0
+        energy = 0.0
+        for layer_name in self.layer_names:
+            result = self.best_layer_result[layer_name]
+            if not result.feasible:
+                return (_INFEASIBLE_OBJECTIVE, _INFEASIBLE_OBJECTIVE)
+            count = self.layer_counts[layer_name]
+            latency += count * result.latency_s
+            energy += count * result.energy_j
+        return latency, energy
+
+    def _network_objective(self, latency: float, energy: float) -> float:
+        if not np.isfinite(latency):
+            return _INFEASIBLE_OBJECTIVE
+        if self.objective == "latency":
+            return latency
+        return latency * energy  # EDP
+
+    def _network_power(self, latency: float, energy: float) -> float:
+        if not np.isfinite(latency) or latency <= 0:
+            return _INFEASIBLE_OBJECTIVE
+        leakage = self.engine.tech.leakage_w_per_mm2 * self.engine.area_mm2(self.hw)
+        return energy / latency + leakage
+
+    def _trial_totals(
+        self, layer_name: str, result: LayerPPA
+    ) -> Tuple[float, float]:
+        """Network totals if ``layer_name`` adopted ``result``."""
+        base_latency, base_energy = self._network_totals()
+        if not np.isfinite(base_latency):
+            if not result.feasible:
+                return (_INFEASIBLE_OBJECTIVE, _INFEASIBLE_OBJECTIVE)
+            return (_INFEASIBLE_OBJECTIVE, _INFEASIBLE_OBJECTIVE)
+        if not result.feasible:
+            return (_INFEASIBLE_OBJECTIVE, _INFEASIBLE_OBJECTIVE)
+        count = self.layer_counts[layer_name]
+        incumbent = self.best_layer_result[layer_name]
+        latency = base_latency + count * (result.latency_s - incumbent.latency_s)
+        energy = base_energy + count * (result.energy_j - incumbent.energy_j)
+        return latency, energy
+
+    # ------------------------------------------------------------------- run
+    def run(self, additional_budget: int) -> "AnytimeMappingSearch":
+        """Consume ``additional_budget`` evaluations, extending the history."""
+        if additional_budget < 0:
+            raise SearchBudgetError(
+                f"additional_budget must be >= 0, got {additional_budget}"
+            )
+        for _ in range(additional_budget):
+            layer_name, candidate = self._propose()
+            result = self.engine.evaluate_layer(self.hw, candidate, layer_name)
+            trial_latency, trial_energy = self._trial_totals(layer_name, result)
+            trial_objective = self._network_objective(trial_latency, trial_energy)
+
+            improved = False
+            incumbent = self.best_layer_result[layer_name]
+            if result.feasible:
+                better_layer = (
+                    not incumbent.feasible
+                    or self._layer_score(result) < self._layer_score(incumbent)
+                )
+                if better_layer:
+                    self.best_layer_mapping[layer_name] = candidate
+                    self.best_layer_result[layer_name] = result
+                    improved = True
+            self._on_result(layer_name, candidate, result, improved)
+
+            best_latency, best_energy = self._network_totals()
+            self.spent_budget += 1
+            self.history.append(
+                MappingSearchPoint(
+                    step=self.spent_budget,
+                    trial_objective=trial_objective,
+                    trial_latency_s=trial_latency,
+                    trial_power_w=self._network_power(trial_latency, trial_energy),
+                    best_objective=self._network_objective(best_latency, best_energy),
+                    best_latency_s=best_latency,
+                    best_power_w=self._network_power(best_latency, best_energy),
+                )
+            )
+        return self
+
+    def _layer_score(self, result: LayerPPA) -> float:
+        if self.objective == "latency":
+            return result.latency_s
+        return result.latency_s * result.energy_j
+
+    # ------------------------------------------------------------------ views
+    @property
+    def best_mapping(self) -> NetworkMapping:
+        return dict(self.best_layer_mapping)
+
+    @property
+    def best_objective(self) -> float:
+        if self.history:
+            return self.history[-1].best_objective
+        latency, energy = self._network_totals()
+        return self._network_objective(latency, energy)
+
+    @property
+    def best_ppa(self) -> NetworkPPA:
+        return self.engine.aggregate(self.hw, self.best_mapping)
+
+    def best_curve(self) -> np.ndarray:
+        """Monotone best-so-far objective values, one per step."""
+        return np.array([point.best_objective for point in self.history])
+
+    def trial_curve(self) -> np.ndarray:
+        """Per-step trial objectives (the raw loss history)."""
+        return np.array([point.trial_objective for point in self.history])

@@ -1,0 +1,90 @@
+"""GAMMA-like genetic software mapping search.
+
+GAMMA (Kao & Krishna, ICCAD'20) evolves mapping populations with crossover
+and domain-aware mutation.  Here each layer keeps a small population of
+mappings; every step evaluates one offspring of the layer whose turn it is
+(round-robin weighted by latency share), then applies (mu + lambda)
+elitist replacement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.costmodel.results import LayerPPA
+from repro.mapping.base import AnytimeMappingSearch
+from repro.mapping.gemm_mapping import GemmMapping
+
+
+class GammaSearch(AnytimeMappingSearch):
+    """Per-layer (mu + lambda) genetic search over mappings."""
+
+    name = "gamma"
+
+    def __init__(
+        self,
+        *args,
+        population_size: int = 6,
+        mutation_rate: float = 0.6,
+        **kwargs,
+    ):
+        self._population_size = population_size
+        self._mutation_rate = mutation_rate
+        # population entries: (mapping, score); scores filled lazily
+        self._population: Dict[str, List[Tuple[GemmMapping, float]]] = {}
+        super().__init__(*args, **kwargs)
+        for layer_name in self.layer_names:
+            seed_mapping = self.best_layer_mapping[layer_name]
+            seed_score = self._layer_score(self.best_layer_result[layer_name])
+            space = self.spaces[layer_name]
+            members: List[Tuple[GemmMapping, float]] = [(seed_mapping, seed_score)]
+            while len(members) < self._population_size:
+                members.append((space.sample(self.rng), float("inf")))
+            self._population[layer_name] = members
+        self._round_robin = 0
+
+    def _pick_layer(self) -> str:
+        weights = np.array(
+            [
+                self.layer_counts[name]
+                * max(self.best_layer_result[name].latency_s, 1e-12)
+                for name in self.layer_names
+            ]
+        )
+        if not np.all(np.isfinite(weights)) or weights.sum() <= 0:
+            self._round_robin = (self._round_robin + 1) % len(self.layer_names)
+            return self.layer_names[self._round_robin]
+        probabilities = weights / weights.sum()
+        return self.layer_names[int(self.rng.choice(len(self.layer_names), p=probabilities))]
+
+    def _propose(self) -> Tuple[str, GemmMapping]:
+        layer_name = self._pick_layer()
+        space = self.spaces[layer_name]
+        members = self._population[layer_name]
+        # tournament parent selection among scored members
+        scored = [m for m in members if np.isfinite(m[1])]
+        if len(scored) >= 2:
+            picks = self.rng.choice(len(scored), size=2, replace=False)
+            parent_a = min(
+                (scored[int(p)] for p in picks), key=lambda pair: pair[1]
+            )[0]
+            parent_b = scored[int(self.rng.integers(0, len(scored)))][0]
+            child = space.crossover(parent_a, parent_b, self.rng)
+        else:
+            child = members[int(self.rng.integers(0, len(members)))][0]
+        if self.rng.random() < self._mutation_rate:
+            child = space.mutate(child, self.rng)
+        self._pending_layer = layer_name
+        return layer_name, child
+
+    def _on_result(
+        self, layer_name: str, mapping: GemmMapping, result: LayerPPA, improved: bool
+    ) -> None:
+        score = self._layer_score(result) if result.feasible else float("inf")
+        members = self._population[layer_name]
+        members.append((mapping, score))
+        # elitist survival: keep the best population_size members
+        members.sort(key=lambda pair: pair[1])
+        del members[self._population_size :]

@@ -1,0 +1,26 @@
+"""On-chip network substrate: mesh topology and transfer models.
+
+Provides the concrete interconnect structure behind the spatial template's
+``NoCBW`` parameter: X-Y routed meshes with multicast trees, bisection-
+bandwidth congestion, and a mesh-aware variant of the analytical engine.
+"""
+
+from repro.noc.model import (
+    LINK_ENERGY_PER_BYTE_HOP_J,
+    MeshAwareMaestroEngine,
+    TransferEstimate,
+    congestion_factor,
+    mesh_for,
+    multicast_transfer,
+)
+from repro.noc.topology import MeshTopology
+
+__all__ = [
+    "MeshTopology",
+    "MeshAwareMaestroEngine",
+    "TransferEstimate",
+    "congestion_factor",
+    "mesh_for",
+    "multicast_transfer",
+    "LINK_ENERGY_PER_BYTE_HOP_J",
+]

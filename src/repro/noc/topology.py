@@ -1,0 +1,115 @@
+"""On-chip network topologies for the spatial accelerator.
+
+Fig. 1's template moves operands between the global buffer (L2) and the PE
+array over a network-on-chip; the baseline cost model abstracts it as a
+bandwidth number.  This module provides the concrete 2D-mesh structure the
+refined model (:mod:`repro.noc.model`) uses:
+
+* X-Y dimension-ordered routing distances,
+* multicast trees (a row-then-column spanning tree from the injection
+  port), whose *link count* determines multicast energy and whose depth
+  adds serialization latency,
+* bisection bandwidth, the mesh's aggregate-throughput ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from repro.errors import ConfigurationError
+
+Coordinate = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """A ``width x height`` mesh with the L2 injection port at (0, 0)."""
+
+    width: int
+    height: int
+    link_bw_bytes_per_cycle: float = 32.0
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ConfigurationError(
+                f"mesh must be at least 1x1, got {self.width}x{self.height}"
+            )
+        if self.link_bw_bytes_per_cycle <= 0:
+            raise ConfigurationError("link bandwidth must be positive")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    @property
+    def num_links(self) -> int:
+        """Directed link count of the mesh fabric."""
+        horizontal = 2 * (self.width - 1) * self.height
+        vertical = 2 * self.width * (self.height - 1)
+        return horizontal + vertical
+
+    def contains(self, node: Coordinate) -> bool:
+        x, y = node
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def hop_distance(self, src: Coordinate, dst: Coordinate) -> int:
+        """X-Y routed Manhattan distance."""
+        if not (self.contains(src) and self.contains(dst)):
+            raise ConfigurationError(f"node outside mesh: {src} -> {dst}")
+        return abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+
+    def route(self, src: Coordinate, dst: Coordinate) -> List[Coordinate]:
+        """The X-then-Y path, inclusive of both endpoints."""
+        if not (self.contains(src) and self.contains(dst)):
+            raise ConfigurationError(f"node outside mesh: {src} -> {dst}")
+        path = [src]
+        x, y = src
+        step_x = 1 if dst[0] > x else -1
+        while x != dst[0]:
+            x += step_x
+            path.append((x, y))
+        step_y = 1 if dst[1] > y else -1
+        while y != dst[1]:
+            y += step_y
+            path.append((x, y))
+        return path
+
+    def multicast_links(
+        self, src: Coordinate, destinations: Iterable[Coordinate]
+    ) -> int:
+        """Links touched by the X-Y multicast tree from ``src``.
+
+        Shared prefixes are counted once — the whole point of multicast
+        over repeated unicast.
+        """
+        links: Set[Tuple[Coordinate, Coordinate]] = set()
+        for dst in destinations:
+            path = self.route(src, dst)
+            for a, b in zip(path, path[1:]):
+                links.add((a, b))
+        return len(links)
+
+    def multicast_depth(self, src: Coordinate, destinations: Iterable[Coordinate]) -> int:
+        """Longest hop distance in the tree (pipeline fill depth)."""
+        depths = [self.hop_distance(src, dst) for dst in destinations]
+        return max(depths) if depths else 0
+
+    def broadcast_links(self) -> int:
+        """Links of a full-array broadcast from the injection port."""
+        return self.multicast_links(
+            (0, 0),
+            [(x, y) for x in range(self.width) for y in range(self.height)],
+        )
+
+    def row_nodes(self, row: int) -> List[Coordinate]:
+        return [(x, row) for x in range(self.width)]
+
+    def column_nodes(self, column: int) -> List[Coordinate]:
+        return [(column, y) for y in range(self.height)]
+
+    @property
+    def bisection_bandwidth(self) -> float:
+        """Bytes/cycle across the narrower bisection cut."""
+        cut_links = min(self.width, self.height)
+        return 2 * cut_links * self.link_bw_bytes_per_cycle

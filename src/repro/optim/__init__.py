@@ -1,0 +1,99 @@
+"""Optimization substrate: GP surrogates, MOBO, SH/MSH, NSGA-II, hypervolume.
+
+Everything here is problem-agnostic (operates on design-space configs and
+objective vectors); the UNICO-specific logic (robustness metric, high-
+fidelity update, Algorithm 1) composes these pieces in :mod:`repro.core`.
+"""
+
+from repro.optim.acquisition import expected_improvement, upper_confidence_bound
+from repro.optim.gp import GaussianProcess, GPHyperparameters
+from repro.optim.hyperband import Bracket, hyperband_brackets
+from repro.optim.hypervolume import (
+    hypervolume,
+    hypervolume_difference,
+    hypervolume_monte_carlo,
+    reference_point_from,
+)
+from repro.optim.mobo import MOBOSampler
+from repro.optim.nsga2 import NSGA2, Individual
+from repro.optim.pareto import (
+    ObjectiveNormalizer,
+    ParetoFront,
+    crowding_distance,
+    dominates,
+    non_dominated_mask,
+    non_dominated_sort,
+    pareto_front,
+)
+from repro.optim.scalarize import (
+    DEFAULT_RHO,
+    parego_scalar,
+    parego_scalars,
+    sample_weight_vector,
+    uniform_weights,
+)
+from repro.optim.indicators import (
+    coverage,
+    epsilon_indicator,
+    generational_distance,
+    inverted_generational_distance,
+    spacing,
+)
+from repro.optim.tpe import ParzenEstimator, TPESampler
+from repro.optim.sh import (
+    DEFAULT_AUC_FRACTION,
+    DEFAULT_ETA,
+    DEFAULT_KEEP_FRACTION,
+    RoundPlan,
+    auc_score,
+    plan_rounds,
+    relative_auc_score,
+    run_successive_halving,
+    select_survivors,
+    terminal_value,
+)
+
+__all__ = [
+    "coverage",
+    "epsilon_indicator",
+    "generational_distance",
+    "inverted_generational_distance",
+    "spacing",
+    "ParzenEstimator",
+    "TPESampler",
+    "expected_improvement",
+    "upper_confidence_bound",
+    "GaussianProcess",
+    "GPHyperparameters",
+    "Bracket",
+    "hyperband_brackets",
+    "hypervolume",
+    "hypervolume_difference",
+    "hypervolume_monte_carlo",
+    "reference_point_from",
+    "MOBOSampler",
+    "NSGA2",
+    "Individual",
+    "ObjectiveNormalizer",
+    "ParetoFront",
+    "crowding_distance",
+    "dominates",
+    "non_dominated_mask",
+    "non_dominated_sort",
+    "pareto_front",
+    "DEFAULT_RHO",
+    "parego_scalar",
+    "parego_scalars",
+    "sample_weight_vector",
+    "uniform_weights",
+    "DEFAULT_AUC_FRACTION",
+    "DEFAULT_ETA",
+    "DEFAULT_KEEP_FRACTION",
+    "RoundPlan",
+    "auc_score",
+    "relative_auc_score",
+    "plan_rounds",
+    "run_successive_halving",
+    "select_survivors",
+    "terminal_value",
+]

@@ -1,0 +1,29 @@
+"""Acquisition functions for Bayesian optimization."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+
+def expected_improvement(
+    mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.01
+) -> np.ndarray:
+    """EI for minimization: E[max(best - f - xi, 0)] under N(mean, std^2).
+
+    Balances exploitation (low predicted mean) against exploration (high
+    predictive uncertainty) — the balance Section 3.2 asks of the batch
+    sampler's acquisition.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    improvement = best - mean - xi
+    z = improvement / std
+    return improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+
+
+def upper_confidence_bound(
+    mean: np.ndarray, std: np.ndarray, beta: float = 2.0
+) -> np.ndarray:
+    """Lower-confidence bound for minimization (named UCB by convention)."""
+    return -(np.asarray(mean, dtype=float) - beta * np.asarray(std, dtype=float))

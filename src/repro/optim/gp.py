@@ -1,0 +1,237 @@
+"""Gaussian-process regression (the MOBO surrogate), from scratch.
+
+A standard zero-mean GP with ARD kernels, Cholesky solves, and marginal-
+likelihood hyperparameter fitting via multi-start L-BFGS-B on log-scale
+parameters.  Inputs are the ``[0, 1]^d`` ordinal encodings produced by the
+hardware design spaces; outputs are normalized objective values.
+
+Only what MOBO needs is implemented — ``fit``, ``predict`` (mean/std) and
+``sample_posterior`` for Thompson-flavoured batch diversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.errors import SurrogateError
+
+_JITTER = 1e-8
+
+
+def rbf_kernel(
+    x1: np.ndarray, x2: np.ndarray, lengthscales: np.ndarray, variance: float
+) -> np.ndarray:
+    """ARD squared-exponential kernel matrix."""
+    scaled1 = x1 / lengthscales
+    scaled2 = x2 / lengthscales
+    sq_dist = (
+        np.sum(scaled1**2, axis=1)[:, None]
+        + np.sum(scaled2**2, axis=1)[None, :]
+        - 2.0 * scaled1 @ scaled2.T
+    )
+    return variance * np.exp(-0.5 * np.maximum(sq_dist, 0.0))
+
+
+def matern52_kernel(
+    x1: np.ndarray, x2: np.ndarray, lengthscales: np.ndarray, variance: float
+) -> np.ndarray:
+    """ARD Matérn-5/2 kernel matrix."""
+    scaled1 = x1 / lengthscales
+    scaled2 = x2 / lengthscales
+    sq_dist = (
+        np.sum(scaled1**2, axis=1)[:, None]
+        + np.sum(scaled2**2, axis=1)[None, :]
+        - 2.0 * scaled1 @ scaled2.T
+    )
+    dist = np.sqrt(np.maximum(sq_dist, 0.0))
+    sqrt5 = np.sqrt(5.0)
+    return (
+        variance
+        * (1.0 + sqrt5 * dist + (5.0 / 3.0) * dist**2)
+        * np.exp(-sqrt5 * dist)
+    )
+
+
+_KERNELS = {"rbf": rbf_kernel, "matern52": matern52_kernel}
+
+
+@dataclass
+class GPHyperparameters:
+    lengthscales: np.ndarray
+    variance: float
+    noise: float
+
+
+class GaussianProcess:
+    """Zero-mean GP regressor with y-standardization."""
+
+    def __init__(self, kernel: str = "matern52", noise_floor: float = 1e-6):
+        if kernel not in _KERNELS:
+            raise SurrogateError(f"unknown kernel {kernel!r}; use {sorted(_KERNELS)}")
+        self.kernel_name = kernel
+        self.kernel = _KERNELS[kernel]
+        self.noise_floor = noise_floor
+        self.hyper: Optional[GPHyperparameters] = None
+        self._x: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._alpha: Optional[np.ndarray] = None
+        self._chol: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ fitting
+    def _neg_log_marginal(
+        self, log_params: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> float:
+        d = x.shape[1]
+        lengthscales = np.exp(log_params[:d])
+        variance = np.exp(log_params[d])
+        noise = np.exp(log_params[d + 1]) + self.noise_floor
+        try:
+            k = self.kernel(x, x, lengthscales, variance)
+            k[np.diag_indices_from(k)] += noise + _JITTER
+            chol = np.linalg.cholesky(k)
+        except np.linalg.LinAlgError:
+            return 1e12
+        alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, y))
+        nll = (
+            0.5 * float(y @ alpha)
+            + float(np.sum(np.log(np.diag(chol))))
+            + 0.5 * len(y) * np.log(2 * np.pi)
+        )
+        return nll if np.isfinite(nll) else 1e12
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        num_restarts: int = 2,
+        seed: int = 0,
+        optimize_hyper: bool = True,
+        hyper: Optional[GPHyperparameters] = None,
+    ) -> "GaussianProcess":
+        """Fit hyperparameters (optionally) and precompute the solve.
+
+        When ``hyper`` is given, the hyperparameters are taken as-is (used
+        to share one marginal-likelihood optimization across the per-slot
+        scalarized GPs of the batch sampler).
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise SurrogateError(
+                f"X has {x.shape[0]} rows but y has {y.shape[0]} entries"
+            )
+        if x.shape[0] < 1:
+            raise SurrogateError("cannot fit a GP on zero observations")
+        if not np.all(np.isfinite(x)) or not np.all(np.isfinite(y)):
+            raise SurrogateError("GP training data must be finite")
+        self._x = x
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) if y.std() > 1e-12 else 1.0
+        y_std = (y - self._y_mean) / self._y_std
+
+        d = x.shape[1]
+        if hyper is not None:
+            self.hyper = GPHyperparameters(
+                np.asarray(hyper.lengthscales, dtype=float),
+                float(hyper.variance),
+                float(hyper.noise),
+            )
+            self._finalize_fit(x, y_std)
+            return self
+        initial = np.concatenate(
+            [np.log(np.full(d, 0.4)), [np.log(1.0)], [np.log(1e-3)]]
+        )
+        best_params = initial
+        if optimize_hyper and x.shape[0] >= 3:
+            rng = np.random.default_rng(seed)
+            best_nll = self._neg_log_marginal(initial, x, y_std)
+            starts = [initial] + [
+                initial + rng.normal(0.0, 0.7, size=initial.shape)
+                for _ in range(num_restarts)
+            ]
+            for start in starts:
+                result = optimize.minimize(
+                    self._neg_log_marginal,
+                    start,
+                    args=(x, y_std),
+                    method="L-BFGS-B",
+                    bounds=[(np.log(1e-2), np.log(10.0))] * d
+                    + [(np.log(1e-3), np.log(50.0)), (np.log(1e-8), np.log(1.0))],
+                    options={"maxiter": 60},
+                )
+                if result.fun < best_nll:
+                    best_nll = result.fun
+                    best_params = result.x
+        lengthscales = np.exp(best_params[:d])
+        variance = float(np.exp(best_params[d]))
+        noise = float(np.exp(best_params[d + 1])) + self.noise_floor
+        self.hyper = GPHyperparameters(lengthscales, variance, noise)
+        self._finalize_fit(x, y_std)
+        return self
+
+    def _finalize_fit(self, x: np.ndarray, y_std: np.ndarray) -> None:
+        """Precompute the Cholesky solve for the current hyperparameters."""
+        k = self.kernel(x, x, self.hyper.lengthscales, self.hyper.variance)
+        k[np.diag_indices_from(k)] += self.hyper.noise + _JITTER
+        try:
+            self._chol = np.linalg.cholesky(k)
+        except np.linalg.LinAlgError:
+            k[np.diag_indices_from(k)] += 1e-4
+            self._chol = np.linalg.cholesky(k)
+        self._alpha = np.linalg.solve(
+            self._chol.T, np.linalg.solve(self._chol, y_std)
+        )
+
+    # ---------------------------------------------------------------- inference
+    def _require_fit(self) -> None:
+        if self._x is None or self._alpha is None or self.hyper is None:
+            raise SurrogateError("GP queried before fit()")
+
+    def predict(self, x_new: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at ``x_new``."""
+        self._require_fit()
+        x_new = np.atleast_2d(np.asarray(x_new, dtype=float))
+        k_star = self.kernel(
+            x_new, self._x, self.hyper.lengthscales, self.hyper.variance
+        )
+        mean_std = k_star @ self._alpha
+        v = np.linalg.solve(self._chol, k_star.T)
+        prior_var = self.hyper.variance
+        var = np.maximum(prior_var - np.sum(v**2, axis=0), 1e-12)
+        mean = mean_std * self._y_std + self._y_mean
+        std = np.sqrt(var) * self._y_std
+        return mean, std
+
+    def sample_posterior(
+        self, x_new: np.ndarray, seed: int = 0
+    ) -> np.ndarray:
+        """One joint posterior sample at ``x_new`` (Thompson sampling)."""
+        self._require_fit()
+        x_new = np.atleast_2d(np.asarray(x_new, dtype=float))
+        k_star = self.kernel(
+            x_new, self._x, self.hyper.lengthscales, self.hyper.variance
+        )
+        mean = k_star @ self._alpha
+        v = np.linalg.solve(self._chol, k_star.T)
+        k_new = self.kernel(
+            x_new, x_new, self.hyper.lengthscales, self.hyper.variance
+        )
+        cov = k_new - v.T @ v
+        cov[np.diag_indices_from(cov)] += 1e-8
+        rng = np.random.default_rng(seed)
+        try:
+            chol = np.linalg.cholesky(cov)
+        except np.linalg.LinAlgError:
+            cov[np.diag_indices_from(cov)] += 1e-4
+            chol = np.linalg.cholesky(cov)
+        draw = mean + chol @ rng.standard_normal(x_new.shape[0])
+        return draw * self._y_std + self._y_mean
+
+    @property
+    def num_observations(self) -> int:
+        return 0 if self._x is None else self._x.shape[0]

@@ -1,0 +1,72 @@
+"""Hyperband bracket planning (Li et al., 2017).
+
+Hyperband answers SH's "n versus B/n" dilemma by running several SH
+*brackets* that trade off the number of candidates against the starting
+budget per candidate.  The MOBOHB baseline (Section 4.2's "multi-objective
+version of BOHB") combines these brackets with model-based candidate
+sampling; the bracket arithmetic lives here, the model lives in
+:mod:`repro.core.baselines.mobohb`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import SearchBudgetError
+
+
+@dataclass(frozen=True)
+class Bracket:
+    """One Hyperband bracket: start with ``num_candidates`` at budget
+    ``initial_budget``, halving down over ``num_rounds`` rounds to
+    ``max_budget``."""
+
+    index: int
+    num_candidates: int
+    initial_budget: int
+    max_budget: int
+    eta: float
+
+    @property
+    def num_rounds(self) -> int:
+        if self.initial_budget >= self.max_budget:
+            return 1
+        return (
+            int(
+                np.floor(
+                    np.log(self.max_budget / self.initial_budget)
+                    / np.log(self.eta)
+                )
+            )
+            + 1
+        )
+
+
+def hyperband_brackets(max_budget: int, eta: float = 3.0) -> List[Bracket]:
+    """The standard bracket set: s = s_max .. 0.
+
+    Bracket s starts ``ceil((s_max+1)/(s+1) * eta^s)`` candidates at budget
+    ``max_budget * eta^-s``.
+    """
+    if max_budget < 1:
+        raise SearchBudgetError(f"max_budget must be >= 1, got {max_budget}")
+    if eta <= 1:
+        raise SearchBudgetError(f"eta must be > 1, got {eta}")
+    s_max = int(np.floor(np.log(max_budget) / np.log(eta)))
+    brackets: List[Bracket] = []
+    for s in range(s_max, -1, -1):
+        num_candidates = int(np.ceil((s_max + 1) / (s + 1) * eta**s))
+        initial_budget = max(1, int(round(max_budget * eta**-s)))
+        brackets.append(
+            Bracket(
+                index=s_max - s,
+                num_candidates=num_candidates,
+                initial_budget=initial_budget,
+                max_budget=max_budget,
+                eta=eta,
+            )
+        )
+    return brackets

@@ -1,0 +1,189 @@
+"""Multi-objective Bayesian optimization batch sampler (qParEGO style).
+
+Section 3.2: "we sample a batch of N hardware candidates.  Each HW is
+sampled with an acquisition function that balances exploration and
+exploitation".  This module implements that step:
+
+1. normalize the training objectives (whatever subset the high-fidelity
+   update rule admitted) to [0, 1],
+2. fit GP hyperparameters once per iteration on a uniform scalarization,
+3. for each of the N batch slots, draw a random ParEGO weight vector,
+   scalarize the training objectives, refit the GP solve (shared
+   hyperparameters), and maximize Expected Improvement over a candidate
+   pool of random configurations plus mutations of incumbent Pareto
+   members,
+4. de-duplicate against observed and already-selected configurations.
+
+Random weight vectors give the batch its diversity (each slot optimizes a
+different trade-off direction), the EI gives each slot its exploration/
+exploitation balance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.hw.space import DiscreteDesignSpace
+from repro.optim.acquisition import expected_improvement
+from repro.optim.gp import GaussianProcess, GPHyperparameters
+from repro.optim.scalarize import parego_scalars, sample_weight_vector, uniform_weights
+from repro.utils.rng import SeedLike, as_generator
+
+
+class MOBOSampler:
+    """Batched hardware sampler guided by a GP surrogate."""
+
+    def __init__(
+        self,
+        space: DiscreteDesignSpace,
+        num_objectives: int,
+        seed: SeedLike = None,
+        kernel: str = "matern52",
+        rho: float = 0.2,
+        pool_size: int = 512,
+        min_observations: int = 8,
+    ):
+        self.space = space
+        self.num_objectives = num_objectives
+        self.rng = as_generator(seed)
+        self.kernel = kernel
+        self.rho = rho
+        self.pool_size = pool_size
+        self.min_observations = min_observations
+        self._shared_hyper: Optional[GPHyperparameters] = None
+
+    # ------------------------------------------------------------------ pools
+    def _candidate_pool(
+        self,
+        exclude_keys: Set[Tuple],
+        incumbents: Sequence,
+    ) -> List:
+        """Random configs + local mutations of incumbents, de-duplicated."""
+        pool: List = []
+        keys = set(exclude_keys)
+        attempts = 0
+        target_random = self.pool_size
+        while len(pool) < target_random and attempts < 20 * target_random:
+            candidate = self.space.sample(self.rng)
+            key = self.space.config_key(candidate)
+            if key not in keys:
+                keys.add(key)
+                pool.append(candidate)
+            attempts += 1
+        for incumbent in incumbents:
+            for _ in range(4):
+                candidate = self.space.mutate(incumbent, self.rng, num_moves=1)
+                key = self.space.config_key(candidate)
+                if key not in keys:
+                    keys.add(key)
+                    pool.append(candidate)
+        return pool
+
+    # ---------------------------------------------------------------- suggest
+    def suggest_batch(
+        self,
+        train_configs: Sequence,
+        train_objectives: np.ndarray,
+        batch_size: int,
+        incumbents: Sequence = (),
+    ) -> List:
+        """Propose ``batch_size`` new configurations.
+
+        Parameters
+        ----------
+        train_configs / train_objectives:
+            The (high-fidelity) surrogate training set; objectives must be
+            normalized to a shared scale and finite.
+        incumbents:
+            Current Pareto-front configurations, used to bias part of the
+            candidate pool toward local refinement.
+        """
+        observed_keys = {self.space.config_key(c) for c in train_configs}
+        if len(train_configs) < self.min_observations:
+            return self._random_batch(batch_size, observed_keys)
+
+        x_train = np.vstack([self.space.encode(c) for c in train_configs])
+        y_train = np.asarray(train_objectives, dtype=float)
+        if y_train.ndim != 2 or y_train.shape[1] != self.num_objectives:
+            raise ValueError(
+                f"expected objectives of shape (n, {self.num_objectives}), "
+                f"got {y_train.shape}"
+            )
+
+        # one marginal-likelihood optimization per iteration, shared across slots
+        uniform_scalar = parego_scalars(y_train, uniform_weights(self.num_objectives), self.rho)
+        shared_gp = GaussianProcess(self.kernel)
+        shared_gp.fit(
+            x_train,
+            uniform_scalar,
+            seed=int(self.rng.integers(0, 2**31)),
+            num_restarts=1,
+        )
+        self._shared_hyper = shared_gp.hyper
+
+        batch: List = []
+        batch_keys: Set[Tuple] = set()
+        for _slot in range(batch_size):
+            weights = sample_weight_vector(self.num_objectives, self.rng)
+            scalar = parego_scalars(y_train, weights, self.rho)
+            gp = GaussianProcess(self.kernel)
+            gp.fit(x_train, scalar, hyper=self._shared_hyper)
+            pool = self._candidate_pool(observed_keys | batch_keys, incumbents)
+            if not pool:
+                break
+            x_pool = np.vstack([self.space.encode(c) for c in pool])
+            mean, std = gp.predict(x_pool)
+            ei = expected_improvement(mean, std, best=float(scalar.min()))
+            chosen = pool[int(np.argmax(ei))]
+            batch.append(chosen)
+            batch_keys.add(self.space.config_key(chosen))
+        # top up with randoms if pools were exhausted
+        if len(batch) < batch_size:
+            batch.extend(
+                self._random_batch(
+                    batch_size - len(batch), observed_keys | batch_keys
+                )
+            )
+        return batch
+
+    def _random_batch(self, count: int, exclude_keys: Set[Tuple]) -> List:
+        batch: List = []
+        keys = set(exclude_keys)
+        attempts = 0
+        while len(batch) < count and attempts < max(1000, 100 * count):
+            candidate = self.space.sample(self.rng)
+            key = self.space.config_key(candidate)
+            if key not in keys:
+                keys.add(key)
+                batch.append(candidate)
+            attempts += 1
+        return batch
+
+    def predict_objectives(
+        self,
+        train_configs: Sequence,
+        train_objectives: np.ndarray,
+        query_configs: Sequence,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean/std per objective at ``query_configs``.
+
+        Fits one GP per objective column (shared hyperparameters when
+        available); used for surrogate-quality diagnostics and tests.
+        """
+        x_train = np.vstack([self.space.encode(c) for c in train_configs])
+        y_train = np.asarray(train_objectives, dtype=float)
+        x_query = np.vstack([self.space.encode(c) for c in query_configs])
+        means = np.zeros((x_query.shape[0], self.num_objectives))
+        stds = np.zeros_like(means)
+        for j in range(self.num_objectives):
+            gp = GaussianProcess(self.kernel)
+            gp.fit(
+                x_train,
+                y_train[:, j],
+                seed=j,
+                num_restarts=1,
+            )
+            means[:, j], stds[:, j] = gp.predict(x_query)
+        return means, stds

@@ -1,0 +1,215 @@
+"""Successive halving (SH) and the paper's modified variant (MSH).
+
+Section 3.3: a batch of N hardware configurations runs SW mapping search in
+rounds; each round the budget per surviving candidate grows geometrically
+and only a subset survives.  Default SH promotes purely on terminal value
+(TV).  MSH additionally promotes the steepest *convergers*, quantified by
+the area-under-curve (AUC) between a candidate's best-so-far loss curve and
+the horizontal line at its final loss (Fig. 4b): curves that dropped a lot
+recently have large AUC and "should be given a second chance".
+
+Promotion rule (MSH):
+
+    H^k = H_TV^(k-p)  U  H_AUC^(p)    with the union disjoint,
+
+with ``k = floor(0.5 N)`` and ``p = floor(0.15 N)`` in all UNICO
+experiments; ``p = 0`` recovers default SH.
+
+The module is generic over a :class:`Trial` protocol — anything resumable
+with a best-so-far curve — so it is reusable for the MOBOHB baseline too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SearchBudgetError
+
+DEFAULT_ETA = 2.0
+DEFAULT_KEEP_FRACTION = 0.5
+DEFAULT_AUC_FRACTION = 0.15
+
+
+class Trial(Protocol):
+    """A resumable evaluation with a monotone best-so-far curve."""
+
+    def run(self, additional_budget: int) -> object:
+        """Spend more budget; extends the curve."""
+
+    def best_curve(self) -> np.ndarray:
+        """Monotone best-so-far objective values, one per spent budget unit."""
+
+
+def terminal_value(curve: np.ndarray) -> float:
+    """TV: the candidate's current best objective (lower is better)."""
+    curve = np.asarray(curve, dtype=float)
+    if curve.size == 0:
+        return float("inf")
+    return float(curve[-1])
+
+
+def auc_score(curve: np.ndarray) -> float:
+    """AUC of Fig. 4b: area between the curve and its terminal-value line.
+
+    Higher AUC = the candidate was recently far above its current best,
+    i.e. it is still converging steeply.  Non-finite stretches contribute
+    nothing (an always-infeasible candidate scores 0).
+    """
+    curve = np.asarray(curve, dtype=float)
+    finite = curve[np.isfinite(curve)]
+    if finite.size < 2:
+        return 0.0
+    end_value = finite[-1]
+    heights = finite - end_value
+    # trapezoidal area over unit-spaced steps
+    return float(np.sum((heights[1:] + heights[:-1]) / 2.0))
+
+
+def relative_auc_score(curve: np.ndarray) -> float:
+    """AUC normalized by the terminal value (scale-free across candidates)."""
+    curve = np.asarray(curve, dtype=float)
+    finite = curve[np.isfinite(curve)]
+    if finite.size < 2:
+        return 0.0
+    end_value = finite[-1]
+    if end_value <= 0:
+        return auc_score(curve)
+    return auc_score(curve) / end_value
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """One SH round: cumulative per-candidate budget and survivor count."""
+
+    round_index: int
+    cumulative_budget: int
+    num_candidates: int
+
+
+def plan_rounds(
+    num_candidates: int,
+    max_budget: int,
+    eta: float = DEFAULT_ETA,
+    keep_fraction: float = DEFAULT_KEEP_FRACTION,
+) -> List[RoundPlan]:
+    """Geometric budget schedule ending at ``max_budget`` per survivor.
+
+    Round j (0-based) runs ``n_j = max(1, floor(N * keep^j))`` candidates up
+    to cumulative budget ``max_budget * eta^-(R-1-j)`` where R is the number
+    of rounds needed to reduce N to 1 at ``keep_fraction`` per round.
+    """
+    if num_candidates < 1:
+        raise SearchBudgetError(f"need >= 1 candidate, got {num_candidates}")
+    if max_budget < 1:
+        raise SearchBudgetError(f"max_budget must be >= 1, got {max_budget}")
+    if not 0 < keep_fraction < 1:
+        raise SearchBudgetError(f"keep_fraction must be in (0,1), got {keep_fraction}")
+    if eta <= 1:
+        raise SearchBudgetError(f"eta must be > 1, got {eta}")
+    num_rounds = max(
+        1, int(np.ceil(np.log(num_candidates) / np.log(1.0 / keep_fraction)))
+    )
+    plans: List[RoundPlan] = []
+    count = num_candidates
+    for j in range(num_rounds):
+        budget = int(round(max_budget * eta ** (-(num_rounds - 1 - j))))
+        budget = max(1, budget)
+        plans.append(RoundPlan(j, budget, count))
+        count = max(1, int(np.floor(count * keep_fraction)))
+    # budgets must be strictly increasing so every round buys new work
+    for i in range(1, len(plans)):
+        if plans[i].cumulative_budget <= plans[i - 1].cumulative_budget:
+            plans[i] = RoundPlan(
+                plans[i].round_index,
+                plans[i - 1].cumulative_budget + 1,
+                plans[i].num_candidates,
+            )
+    return plans
+
+
+def select_survivors(
+    candidate_ids: Sequence[int],
+    tv_by_id: Dict[int, float],
+    auc_by_id: Dict[int, float],
+    keep: int,
+    auc_promotions: int,
+) -> List[int]:
+    """MSH promotion: top ``keep - p`` by TV plus top ``p`` fresh by AUC.
+
+    ``auc_promotions = 0`` degenerates to default SH.  The returned list
+    preserves TV ordering first, then AUC promotions.
+    """
+    ids = list(candidate_ids)
+    if keep < 0 or auc_promotions < 0:
+        raise SearchBudgetError("keep and auc_promotions must be non-negative")
+    if auc_promotions > keep:
+        raise SearchBudgetError(
+            f"auc_promotions ({auc_promotions}) cannot exceed keep ({keep})"
+        )
+    if keep >= len(ids):
+        return ids
+    by_tv = sorted(ids, key=lambda i: (tv_by_id[i], i))
+    tv_selected = by_tv[: keep - auc_promotions]
+    selected_set = set(tv_selected)
+    by_auc = sorted(ids, key=lambda i: (-auc_by_id[i], i))
+    auc_selected: List[int] = []
+    for candidate in by_auc:
+        if len(auc_selected) >= auc_promotions:
+            break
+        if candidate not in selected_set:
+            auc_selected.append(candidate)
+            selected_set.add(candidate)
+    # backfill from TV order if AUC could not supply enough fresh candidates
+    for candidate in by_tv:
+        if len(tv_selected) + len(auc_selected) >= keep:
+            break
+        if candidate not in selected_set:
+            tv_selected.append(candidate)
+            selected_set.add(candidate)
+    return tv_selected + auc_selected
+
+
+def run_successive_halving(
+    trials: Sequence[Trial],
+    max_budget: int,
+    eta: float = DEFAULT_ETA,
+    keep_fraction: float = DEFAULT_KEEP_FRACTION,
+    auc_fraction: float = DEFAULT_AUC_FRACTION,
+    use_msh: bool = True,
+) -> Tuple[List[int], List[List[int]]]:
+    """Run (M)SH over resumable trials.
+
+    Returns ``(final_survivor_ids, per_round_survivor_ids)`` where ids index
+    into ``trials``.  Every trial is advanced in round 0; survivors continue
+    through later rounds up to ``max_budget`` cumulative budget each.
+    """
+    num_candidates = len(trials)
+    if num_candidates == 0:
+        return [], []
+    plans = plan_rounds(num_candidates, max_budget, eta, keep_fraction)
+    active = list(range(num_candidates))
+    spent = {i: 0 for i in active}
+    rounds_survivors: List[List[int]] = []
+    for plan_index, plan in enumerate(plans):
+        for trial_id in active:
+            additional = plan.cumulative_budget - spent[trial_id]
+            if additional > 0:
+                trials[trial_id].run(additional)
+                spent[trial_id] = plan.cumulative_budget
+        is_last = plan_index == len(plans) - 1
+        if is_last:
+            rounds_survivors.append(list(active))
+            break
+        next_count = plans[plan_index + 1].num_candidates
+        keep = min(next_count, len(active))
+        promotions = (
+            min(int(np.floor(auc_fraction * num_candidates)), keep) if use_msh else 0
+        )
+        tv_by_id = {i: terminal_value(trials[i].best_curve()) for i in active}
+        auc_by_id = {i: relative_auc_score(trials[i].best_curve()) for i in active}
+        active = select_survivors(active, tv_by_id, auc_by_id, keep, promotions)
+        rounds_survivors.append(list(active))
+    return active, rounds_survivors

@@ -1,0 +1,37 @@
+"""Shared low-level utilities used across the UNICO reproduction.
+
+The sub-modules here are deliberately dependency-free (NumPy only) so that
+every other subsystem — workloads, cost models, optimizers, the UNICO core —
+can build on a common, well-tested foundation:
+
+* :mod:`repro.utils.rng` — seeded random-number plumbing.  Every stochastic
+  component in the library draws from an explicitly seeded
+  :class:`numpy.random.Generator` so whole experiments replay bit-for-bit.
+* :mod:`repro.utils.intmath` — integer helpers (divisors, tilings,
+  two-three-smooth value grids) used by design spaces and mapping spaces.
+* :mod:`repro.utils.clock` — the simulated wall clock that charges a modeled
+  cost per PPA evaluation; search-cost curves are measured against it.
+* :mod:`repro.utils.records` — lightweight JSON-serializable run records.
+"""
+
+from repro.utils.clock import SimulatedClock
+from repro.utils.intmath import (
+    divisors,
+    nearest_divisor,
+    power_two_three_grid,
+    round_up_div,
+)
+from repro.utils.records import RunRecord, to_jsonable
+from repro.utils.rng import SeedSequenceFactory, as_generator
+
+__all__ = [
+    "SimulatedClock",
+    "divisors",
+    "nearest_divisor",
+    "power_two_three_grid",
+    "round_up_div",
+    "RunRecord",
+    "to_jsonable",
+    "SeedSequenceFactory",
+    "as_generator",
+]

@@ -1,0 +1,111 @@
+"""Integer math helpers for design spaces and tiling.
+
+Hardware design spaces in the paper use buffer sizes drawn from the
+two-three-smooth grid ``{2^i * 3^j}`` and mapping spaces tile loop extents by
+integer factors.  These helpers centralize that arithmetic.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+
+def round_up_div(numerator: int, denominator: int) -> int:
+    """Ceiling division for non-negative integers."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)
+
+
+@lru_cache(maxsize=4096)
+def divisors(n: int) -> Tuple[int, ...]:
+    """Return the sorted divisors of ``n`` (n >= 1)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    small: List[int] = []
+    large: List[int] = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return tuple(small + large[::-1])
+
+
+def nearest_divisor(n: int, target: int) -> int:
+    """Return the divisor of ``n`` closest to ``target`` (ties go low).
+
+    Mapping mutations propose approximate tile sizes; snapping to the nearest
+    divisor keeps tilings perfect (no remainder handling in the cost model's
+    steady-state loop counts, matching MAESTRO-style analysis).
+    """
+    candidates = divisors(n)
+    best = candidates[0]
+    best_gap = abs(best - target)
+    for cand in candidates[1:]:
+        gap = abs(cand - target)
+        if gap < best_gap:
+            best, best_gap = cand, gap
+    return best
+
+
+def power_two_three_grid(max_i: int, max_j: int, scale: int = 1) -> Tuple[int, ...]:
+    """Return sorted unique values ``{scale * 2^i * 3^j : 0<=i<=max_i, 0<=j<=max_j}``.
+
+    This is the buffer-size grid used for the open-source spatial accelerator
+    (``L1, L2 in {2^i * 3^j}`` for ``i, j in 0..10``).
+    """
+    if max_i < 0 or max_j < 0:
+        raise ValueError("max_i and max_j must be non-negative")
+    values = {
+        scale * (2**i) * (3**j) for i in range(max_i + 1) for j in range(max_j + 1)
+    }
+    return tuple(sorted(values))
+
+
+def snap_to_grid(value: float, grid: Sequence[int]) -> int:
+    """Return the grid element closest to ``value`` (ties go low)."""
+    if not grid:
+        raise ValueError("grid must be non-empty")
+    best = grid[0]
+    best_gap = abs(best - value)
+    for element in grid[1:]:
+        gap = abs(element - value)
+        if gap < best_gap:
+            best, best_gap = element, gap
+    return int(best)
+
+
+def factorize_near(n: int, parts: int, rng=None) -> List[int]:
+    """Split integer ``n`` into ``parts`` divisor factors whose product is ``n``.
+
+    Deterministic when ``rng`` is None (greedy balanced split); otherwise a
+    random divisor chain.  Used to seed tilings for mapping search.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    remaining = n
+    factors: List[int] = []
+    for k in range(parts - 1, 0, -1):
+        target = round(remaining ** (k / (k + 1)))
+        if rng is None:
+            inner = nearest_divisor(remaining, max(1, target))
+        else:
+            options = divisors(remaining)
+            inner = int(options[rng.integers(0, len(options))])
+        factors.append(remaining // inner)
+        remaining = inner
+    factors.append(remaining)
+    return factors[::-1]
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"invalid clamp bounds: [{low}, {high}]")
+    return max(low, min(high, value))

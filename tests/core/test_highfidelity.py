@@ -1,0 +1,106 @@
+"""Tests for the high-fidelity UUL update rule and the champion rule."""
+
+import numpy as np
+import pytest
+
+from repro.core.highfidelity import ChampionSelector, HighFidelitySelector
+from repro.optim.scalarize import parego_scalar, uniform_weights
+
+
+@pytest.fixture()
+def selector():
+    return HighFidelitySelector(num_objectives=4)
+
+
+def _batch(rows):
+    return np.array(rows, dtype=float)
+
+
+class TestFidelityScalars:
+    def test_matches_eq1(self, selector):
+        y = [0.1, 0.2, 0.3, 0.4]
+        scalar = selector.fidelity_scalars(_batch([y]))[0]
+        assert scalar == pytest.approx(parego_scalar(y, uniform_weights(4)))
+
+    def test_custom_weights(self):
+        selector = HighFidelitySelector(
+            num_objectives=2, weights=np.array([0.8, 0.2])
+        )
+        scalar = selector.fidelity_scalars(_batch([[1.0, 1.0]]))[0]
+        assert scalar == pytest.approx(0.8 + 0.2 * 1.0)
+
+    def test_bad_weights_shape(self):
+        with pytest.raises(ValueError):
+            HighFidelitySelector(num_objectives=3, weights=np.array([0.5, 0.5]))
+
+
+class TestUULRule:
+    def test_first_batch_admits_all_finite(self, selector):
+        batch = _batch([[0.1] * 4, [0.5] * 4, [np.inf] * 4])
+        selected, scalars = selector.select(batch)
+        assert selected.tolist() == [True, True, False]
+        assert np.isfinite(selector.uul)
+
+    def test_uul_is_95th_percentile_of_distances(self, selector):
+        batch = _batch([[v] * 4 for v in (0.1, 0.2, 0.3, 0.4)])
+        _selected, scalars = selector.select(batch)
+        distances = np.abs(scalars - scalars.min())
+        assert selector.uul == pytest.approx(np.percentile(distances, 95))
+
+    def test_second_batch_filtered_by_uul(self, selector):
+        selector.select(_batch([[0.10] * 4, [0.12] * 4, [0.14] * 4]))
+        uul = selector.uul
+        # one candidate within UUL of the best, one far outside
+        far = 0.10 + 10 * (uul + 0.1)
+        selected, _ = selector.select(_batch([[0.11] * 4, [far] * 4]))
+        assert selected.tolist() == [True, False]
+
+    def test_best_scalar_tracks_minimum(self, selector):
+        selector.select(_batch([[0.5] * 4]))
+        selector.select(_batch([[0.2] * 4]))
+        expected = parego_scalar([0.2] * 4, uniform_weights(4))
+        assert selector.best_scalar == pytest.approx(expected)
+
+    def test_never_starves_surrogate(self, selector):
+        """Even a terrible batch admits its champion."""
+        selector.select(_batch([[0.1] * 4, [0.11] * 4, [0.105] * 4]))
+        selected, _ = selector.select(_batch([[50.0] * 4, [60.0] * 4]))
+        assert selected.sum() == 1
+        assert selected[0]  # the better of the two
+
+    def test_all_infinite_batch_selects_nothing(self, selector):
+        selector.select(_batch([[0.1] * 4]))
+        selected, _ = selector.select(_batch([[np.inf] * 4, [np.inf] * 4]))
+        assert selected.sum() == 0
+
+    def test_uul_tightens_with_exploitation(self):
+        """As batches concentrate near the best, UUL tends to shrink."""
+        selector = HighFidelitySelector(num_objectives=4)
+        rng = np.random.default_rng(0)
+        selector.select(_batch([[v] * 4 for v in rng.uniform(0.1, 1.0, 10)]))
+        wide_uul = selector.uul
+        for _ in range(5):
+            values = rng.uniform(0.1, 0.15, 10)
+            selector.select(_batch([[v] * 4 for v in values]))
+        assert selector.uul < wide_uul
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            HighFidelitySelector(num_objectives=4, percentile=0.0)
+
+
+class TestChampionSelector:
+    def test_selects_exactly_best(self):
+        selector = ChampionSelector(num_objectives=3)
+        selected, scalars = selector.select(
+            _batch([[0.5] * 3, [0.1] * 3, [0.9] * 3])
+        )
+        assert selected.tolist() == [False, True, False]
+
+    def test_all_infinite_selects_none(self):
+        selector = ChampionSelector(num_objectives=3)
+        selected, _ = selector.select(_batch([[np.inf] * 3]))
+        assert selected.sum() == 0
+
+    def test_uul_is_zero(self):
+        assert ChampionSelector(num_objectives=3).uul == 0.0

@@ -1,0 +1,149 @@
+"""Tests for multi-workload co-optimization (Fig. 6a)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Unico, UnicoConfig
+from repro.core.multiworkload import (
+    MultiWorkloadEngine,
+    MultiWorkloadTrial,
+    multi_workload_trial_factory,
+)
+from repro.costmodel import MaestroEngine
+from repro.errors import ConfigurationError
+from repro.hw import edge_design_space
+from repro.utils.clock import SimulatedClock
+from repro.workloads import Conv2D, Gemm, Network
+
+
+@pytest.fixture(scope="module")
+def two_networks():
+    net_a = Network(
+        name="neta",
+        layers=(Gemm(name="g1", m=32, n=64, k=48),),
+        family="test",
+    )
+    net_b = Network(
+        name="netb",
+        layers=(
+            Conv2D(
+                name="c1", in_channels=8, out_channels=16, in_h=16, in_w=16, kernel=3
+            ),
+            Gemm(name="g2", m=16, n=32, k=24),
+        ),
+        family="test",
+    )
+    return [net_a, net_b]
+
+
+@pytest.fixture()
+def composite(two_networks):
+    engine, factory = multi_workload_trial_factory(
+        two_networks, lambda net, clock: MaestroEngine(net, clock=clock)
+    )
+    return engine, factory
+
+
+class TestMultiWorkloadEngine:
+    def test_shared_clock(self, composite):
+        engine, _factory = composite
+        clocks = {id(e.clock) for e in engine.engines.values()}
+        assert len(clocks) == 1
+        assert next(iter(clocks)) == id(engine.clock)
+
+    def test_query_count_sums(self, composite, sample_hw):
+        engine, factory = composite
+        trial = factory(sample_hw, seed_rng=0)
+        before = engine.num_queries
+        trial.run(5)
+        assert engine.num_queries == before + 5 * len(engine.engines)
+
+    def test_charge_clock_propagates(self, composite):
+        engine, _factory = composite
+        engine.charge_clock = False
+        assert all(not e.charge_clock for e in engine.engines.values())
+        engine.charge_clock = True
+        assert engine.charge_clock
+
+    def test_merged_network_metadata(self, composite):
+        engine, _factory = composite
+        assert engine.network.family == "multi"
+        assert engine.network.num_unique_layers == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiWorkloadEngine({})
+        with pytest.raises(ConfigurationError):
+            multi_workload_trial_factory([], lambda *a: None)
+
+
+class TestMultiWorkloadTrial:
+    def test_run_advances_all_jobs(self, composite, sample_hw):
+        _engine, factory = composite
+        trial = factory(sample_hw, seed_rng=1)
+        trial.run(10)
+        assert all(s.spent_budget == 10 for s in trial.searches.values())
+        assert trial.spent_budget == 10
+
+    def test_best_curve_is_sum_and_monotone(self, composite, sample_hw):
+        _engine, factory = composite
+        trial = factory(sample_hw, seed_rng=1)
+        trial.run(30)
+        curve = trial.best_curve()
+        assert curve.shape == (30,)
+        assert np.all(np.diff(curve) <= 1e-18)
+        manual = sum(s.best_curve()[:30] for s in trial.searches.values())
+        assert np.allclose(curve, manual)
+
+    def test_best_ppa_aggregates(self, composite, sample_hw):
+        _engine, factory = composite
+        trial = factory(sample_hw, seed_rng=1)
+        trial.run(20)
+        ppa = trial.best_ppa
+        parts = [s.best_ppa for s in trial.searches.values()]
+        assert ppa.feasible
+        assert ppa.latency_s == pytest.approx(sum(p.latency_s for p in parts))
+        assert ppa.energy_j == pytest.approx(sum(p.energy_j for p in parts))
+
+    def test_robustness_is_worst_case(self, composite, sample_hw):
+        _engine, factory = composite
+        trial = factory(sample_hw, seed_rng=1)
+        trial.run(40)
+        aggregate = trial.robustness()
+        per_workload = [
+            s for s in trial.searches.values()
+        ]
+        from repro.core.robustness import robustness_metric
+
+        individual = [robustness_metric(s.history) for s in per_workload]
+        assert aggregate.r_value == pytest.approx(
+            max(r.r_value for r in individual)
+        )
+
+    def test_search_view_namespaces_layers(self, composite, sample_hw):
+        _engine, factory = composite
+        trial = factory(sample_hw, seed_rng=1)
+        trial.run(5)
+        mapping_keys = set(trial.search.best_mapping)
+        assert mapping_keys == {"neta.g1", "netb.c1", "netb.g2"}
+
+
+class TestUnicoWithMultiWorkload:
+    def test_end_to_end(self, two_networks):
+        engine, factory = multi_workload_trial_factory(
+            two_networks, lambda net, clock: MaestroEngine(net, clock=clock)
+        )
+        space = edge_design_space()
+        unico = Unico(
+            space,
+            engine.network,
+            engine,
+            UnicoConfig(batch_size=4, max_iterations=2, max_budget=16, workers=4),
+            trial_factory=factory,
+            power_cap_w=100.0,
+            seed=2,
+        )
+        result = unico.optimize()
+        assert result.total_hw_evaluated == 8
+        assert result.best_design() is not None
+        assert result.total_time_s > 0

@@ -1,0 +1,144 @@
+"""Tests for the robustness (sensitivity) metric R of Eq. (2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.robustness import RobustnessResult, f_theta, robustness_metric
+from repro.mapping.base import MappingSearchPoint
+
+
+def _point(step, trial_obj, trial_lat, trial_pow, best_obj, best_lat, best_pow):
+    return MappingSearchPoint(
+        step=step,
+        trial_objective=trial_obj,
+        trial_latency_s=trial_lat,
+        trial_power_w=trial_pow,
+        best_objective=best_obj,
+        best_latency_s=best_lat,
+        best_power_w=best_pow,
+    )
+
+
+def _history(trial_latencies, trial_powers, final_latency, final_power):
+    """Build a history whose trials have the given latency/power."""
+    points = []
+    for index, (lat, pow_) in enumerate(zip(trial_latencies, trial_powers)):
+        points.append(
+            _point(index + 1, lat, lat, pow_, final_latency, final_latency, final_power)
+        )
+    return points
+
+
+class TestFTheta:
+    def test_paper_anchor_points(self):
+        """F(0) = 1, F(pi/2) = 0, F(pi) = 2 (Section 3.4)."""
+        assert f_theta(0.0) == pytest.approx(1.0)
+        assert f_theta(math.pi / 2) == pytest.approx(0.0)
+        assert f_theta(math.pi) == pytest.approx(2.0)
+
+    def test_decreasing_then_increasing(self):
+        thetas = np.linspace(0, math.pi, 50)
+        values = [f_theta(t) for t in thetas]
+        minimum_at = thetas[int(np.argmin(values))]
+        # vertex of the parabola is at 5*pi/12, left of pi/2
+        assert minimum_at < math.pi / 2
+
+    def test_domain_enforced(self):
+        with pytest.raises(ValueError):
+            f_theta(-0.1)
+        with pytest.raises(ValueError):
+            f_theta(math.pi + 0.2)
+
+    def test_asymmetry_prefers_first_quadrant(self):
+        """Penalty above pi/2 (power regression) exceeds the mirror below."""
+        eps = 0.4
+        assert f_theta(math.pi / 2 + eps) > f_theta(math.pi / 2 - eps)
+
+
+class TestRobustnessMetric:
+    def test_zero_when_no_variation(self):
+        history = _history([1.0] * 50, [2.0] * 50, 1.0, 2.0)
+        result = robustness_metric(history)
+        assert result.r_value == pytest.approx(0.0)
+        assert result.delta == 0.0
+
+    def test_infinite_when_never_feasible(self):
+        history = _history(
+            [np.inf] * 10, [np.inf] * 10, float("inf"), float("inf")
+        )
+        assert not robustness_metric(history).finite
+
+    def test_empty_history_infinite(self):
+        assert not robustness_metric([]).finite
+
+    def test_r_equals_delta_when_power_unchanged(self):
+        """theta = pi/2 when power does not move: R = Delta."""
+        trial_lats = [2.0] * 95 + [1.5] * 5
+        history = _history(trial_lats, [4.0] * 100, 1.0, 4.0)
+        result = robustness_metric(history)
+        assert result.theta == pytest.approx(math.pi / 2)
+        assert result.r_value == pytest.approx(result.delta)
+
+    def test_power_regression_penalized_more(self):
+        """If converging increased power, R exceeds the symmetric case."""
+        # sub-optimal: lat 1.5, power 3.0; optimal: lat 1.0, power 4.0 (worse!)
+        regress = robustness_metric(_history([1.5] * 100, [3.0] * 100, 1.0, 4.0))
+        # sub-optimal: lat 1.5, power 5.0; optimal power 4.0 (better)
+        improve = robustness_metric(_history([1.5] * 100, [5.0] * 100, 1.0, 4.0))
+        assert regress.theta > math.pi / 2 > improve.theta
+        assert regress.r_value > improve.r_value
+
+    def test_larger_variation_larger_r(self):
+        small = robustness_metric(_history([1.1] * 100, [4.0] * 100, 1.0, 4.0))
+        large = robustness_metric(_history([3.0] * 100, [4.0] * 100, 1.0, 4.0))
+        assert large.r_value > small.r_value
+
+    def test_scale_invariance(self):
+        """R is computed on relative deltas: units must not matter."""
+        base = robustness_metric(_history([1.5] * 100, [5.0] * 100, 1.0, 4.0))
+        scaled = robustness_metric(
+            _history([1.5e-3] * 100, [5.0e3] * 100, 1.0e-3, 4.0e3)
+        )
+        assert base.r_value == pytest.approx(scaled.r_value, rel=1e-9)
+
+    def test_suboptimal_selected_from_low_loss_tail(self):
+        """The sub-optimal point is a *promising* mapping (alpha quantile),
+        not a terrible one."""
+        trial_lats = [10.0] * 80 + [1.2] * 19 + [1.0]
+        history = _history(trial_lats, [4.0] * 100, 1.0, 4.0)
+        result = robustness_metric(history, alpha=0.05)
+        assert result.suboptimal_latency_s == pytest.approx(1.2)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            robustness_metric(_history([1.0], [1.0], 1.0, 1.0), alpha=0.0)
+
+    def test_ingredients_recorded(self):
+        history = _history([1.5] * 100, [5.0] * 100, 1.0, 4.0)
+        result = robustness_metric(history)
+        assert result.optimal_latency_s == 1.0
+        assert result.optimal_power_w == 4.0
+        assert result.suboptimal_latency_s == 1.5
+        assert result.suboptimal_power_w == 5.0
+
+    @given(
+        st.floats(1.0, 10.0),
+        st.floats(1.0, 10.0),
+        st.floats(0.0, 5.0),
+        st.floats(-0.9, 5.0),
+    )
+    @settings(max_examples=60)
+    def test_r_formula_bounds(self, opt_lat, opt_pow, extra_lat, extra_pow_rel):
+        """R is within [(1 - 1/24) Delta, 3 Delta]: the parabola F has its
+        vertex at theta = 5 pi / 12 with F = -1/24, and F(pi) = 2."""
+        sub_lat = opt_lat + extra_lat
+        sub_pow = opt_pow * (1 + extra_pow_rel)
+        history = _history([sub_lat] * 100, [sub_pow] * 100, opt_lat, opt_pow)
+        result = robustness_metric(history)
+        assert result.finite
+        low = result.delta * (1.0 - 1.0 / 24.0)
+        assert low - 1e-12 <= result.r_value <= 3 * result.delta + 1e-12

@@ -1,0 +1,50 @@
+"""Tests for the job-runner backends."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.runner import BACKENDS, JobRunner
+from repro.errors import ConfigurationError
+
+
+class TestJobRunner:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_results_in_order(self, backend):
+        runner = JobRunner(backend=backend, max_workers=4)
+        jobs = [lambda i=i: i * i for i in range(10)]
+        assert runner.map(jobs) == [i * i for i in range(10)]
+
+    def test_empty(self):
+        assert JobRunner().map([]) == []
+
+    def test_starmap(self):
+        runner = JobRunner()
+        assert runner.starmap(lambda a, b: a + b, [(1, 2), (3, 4)]) == [3, 7]
+
+    def test_thread_backend_actually_overlaps(self):
+        barrier = threading.Barrier(3, timeout=5)
+
+        def job():
+            barrier.wait()  # only passes if 3 jobs run concurrently
+            return True
+
+        runner = JobRunner(backend="thread", max_workers=3)
+        assert runner.map([job, job, job]) == [True, True, True]
+
+    def test_exception_propagates(self):
+        def boom():
+            raise RuntimeError("job failed")
+
+        runner = JobRunner(backend="thread", max_workers=2)
+        with pytest.raises(RuntimeError):
+            runner.map([lambda: 1, boom])
+
+    def test_invalid_backend(self):
+        with pytest.raises(ConfigurationError):
+            JobRunner(backend="mpi")
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            JobRunner(max_workers=0)

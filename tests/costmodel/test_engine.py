@@ -1,0 +1,87 @@
+"""Tests for the PPA estimation-service layer (caching, clock, aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import MaestroEngine
+from repro.errors import EvaluationError
+from repro.mapping import GemmMapping
+
+
+@pytest.fixture()
+def engine(tiny_network):
+    return MaestroEngine(tiny_network)
+
+
+MAPPING = GemmMapping(8, 16, 8)
+
+
+class TestEvaluateLayer:
+    def test_basic_result(self, engine, sample_hw):
+        result = engine.evaluate_layer(sample_hw, MAPPING, "gemm")
+        assert result.feasible
+        assert result.latency_s > 0
+
+    def test_unknown_layer_raises(self, engine, sample_hw):
+        with pytest.raises(EvaluationError):
+            engine.evaluate_layer(sample_hw, MAPPING, "nope")
+
+    def test_cache_hit_on_repeat(self, engine, sample_hw):
+        engine.evaluate_layer(sample_hw, MAPPING, "gemm")
+        engine.evaluate_layer(sample_hw, MAPPING, "gemm")
+        assert engine.num_queries == 2
+        assert engine.num_cache_hits == 1
+        assert engine.cache_hit_rate == 0.5
+
+    def test_clock_charged_per_call_even_cached(self, engine, sample_hw):
+        engine.evaluate_layer(sample_hw, MAPPING, "gemm")
+        engine.evaluate_layer(sample_hw, MAPPING, "gemm")
+        assert engine.clock.now_s == pytest.approx(2 * engine.eval_cost_s)
+
+    def test_charge_clock_flag(self, engine, sample_hw):
+        engine.charge_clock = False
+        engine.evaluate_layer(sample_hw, MAPPING, "gemm")
+        assert engine.clock.now_s == 0.0
+        assert engine.num_queries == 1
+
+    def test_different_hw_not_cached_together(self, engine, sample_hw, edge_space):
+        other = edge_space.mutate(sample_hw, seed=0)
+        engine.evaluate_layer(sample_hw, MAPPING, "gemm")
+        engine.evaluate_layer(other, MAPPING, "gemm")
+        assert engine.num_cache_hits == 0
+
+
+class TestAggregate:
+    def _full_mapping(self, engine):
+        return {name: GemmMapping(4, 8, 4) for name in engine.layer_shapes}
+
+    def test_network_evaluation(self, engine, sample_hw):
+        mappings = self._full_mapping(engine)
+        ppa = engine.evaluate_network(sample_hw, mappings)
+        assert ppa.feasible
+        assert ppa.latency_s > 0
+        assert ppa.area_mm2 > 0
+
+    def test_counts_weight_latency(self, engine, sample_hw):
+        mappings = self._full_mapping(engine)
+        ppa = engine.evaluate_network(sample_hw, mappings)
+        gemm_result = ppa.layer_results["gemm"]
+        # gemm has count=2 so contributes twice
+        manual = sum(
+            count * ppa.layer_results[name].latency_s
+            for name, (_shape, count) in engine.layer_shapes.items()
+        )
+        assert ppa.latency_s == pytest.approx(manual)
+        assert gemm_result.feasible
+
+    def test_aggregate_does_not_charge_clock(self, engine, sample_hw):
+        mappings = self._full_mapping(engine)
+        engine.evaluate_network(sample_hw, mappings)
+        before = engine.clock.now_s
+        engine.aggregate(sample_hw, mappings)
+        assert engine.clock.now_s == before
+
+    def test_partial_mapping_infeasible(self, engine, sample_hw):
+        ppa = engine.aggregate(sample_hw, {"gemm": MAPPING})
+        assert not ppa.feasible
+        assert np.isinf(ppa.latency_s)

@@ -1,0 +1,110 @@
+"""Failure-injection tests: flaky engines and the retry wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import MaestroEngine
+from repro.costmodel.reliability import FlakyEngine, RetryingEngine
+from repro.errors import EvaluationError
+from repro.mapping import FlexTensorSearch, GemmMapping
+
+MAPPING = GemmMapping(4, 8, 4)
+
+
+@pytest.fixture()
+def flaky(tiny_network):
+    inner = MaestroEngine(tiny_network)
+    return FlakyEngine(inner, failure_rate=0.4, seed=0)
+
+
+class TestFlakyEngine:
+    def test_injects_failures(self, flaky, sample_hw, tiny_network):
+        failures = 0
+        space_samples = 0
+        from repro.mapping import GemmMappingSpace
+
+        space = GemmMappingSpace(tiny_network.layers[0].to_gemm())
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            try:
+                flaky.evaluate_layer(
+                    sample_hw, space.sample(rng), tiny_network.layers[0].name
+                )
+            except EvaluationError:
+                failures += 1
+            space_samples += 1
+        assert failures > 0
+        assert flaky.num_injected_failures == failures
+
+    def test_invalid_rate(self, tiny_network):
+        with pytest.raises(EvaluationError):
+            FlakyEngine(MaestroEngine(tiny_network), failure_rate=1.0)
+
+
+class TestRetryingEngine:
+    def test_recovers_from_transient_failures(self, tiny_network, sample_hw):
+        inner = MaestroEngine(tiny_network)
+        flaky = FlakyEngine(inner, failure_rate=0.4, seed=1)
+        robust = RetryingEngine(flaky, max_attempts=6)
+        result = robust.evaluate_layer(sample_hw, MAPPING, "gemm")
+        assert result.feasible
+
+    def test_counts_retries(self, tiny_network, sample_hw):
+        inner = MaestroEngine(tiny_network)
+        flaky = FlakyEngine(inner, failure_rate=0.5, seed=2)
+        robust = RetryingEngine(flaky, max_attempts=8)
+        from repro.mapping import GemmMappingSpace
+
+        space = GemmMappingSpace(tiny_network.layers[0].to_gemm())
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            robust.evaluate_layer(
+                sample_hw, space.sample(rng), tiny_network.layers[0].name
+            )
+        assert robust.num_retries > 0
+
+    def test_gives_up_eventually(self, tiny_network, sample_hw):
+        class AlwaysDown(MaestroEngine):
+            def _compute_layer_by_name(self, hw, mapping, layer_name, shape):
+                raise EvaluationError("service unreachable")
+
+        down = AlwaysDown(tiny_network)
+        robust = RetryingEngine(down, max_attempts=3)
+        with pytest.raises(EvaluationError, match="after 3 attempts"):
+            robust.evaluate_layer(sample_hw, MAPPING, "gemm")
+
+    def test_retries_charge_the_clock(self, tiny_network, sample_hw):
+        inner = MaestroEngine(tiny_network)
+        flaky = FlakyEngine(inner, failure_rate=0.5, seed=3)
+        robust = RetryingEngine(flaky, max_attempts=8)
+        from repro.mapping import GemmMappingSpace
+
+        space = GemmMappingSpace(tiny_network.layers[0].to_gemm())
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            robust.evaluate_layer(
+                sample_hw, space.sample(rng), tiny_network.layers[0].name
+            )
+        # clock charged for fresh queries AND failed attempts
+        expected_min = 20 * robust.eval_cost_s
+        assert robust.clock.now_s > expected_min
+
+    def test_results_match_clean_engine(self, tiny_network, sample_hw):
+        clean = MaestroEngine(tiny_network)
+        flaky = FlakyEngine(MaestroEngine(tiny_network), failure_rate=0.4, seed=4)
+        robust = RetryingEngine(flaky, max_attempts=10)
+        a = clean.evaluate_layer(sample_hw, MAPPING, "gemm")
+        b = robust.evaluate_layer(sample_hw, MAPPING, "gemm")
+        assert a.latency_s == b.latency_s
+
+    def test_full_search_survives_flakiness(self, tiny_network, sample_hw):
+        """An entire mapping search completes over a 30%-flaky service."""
+        flaky = FlakyEngine(MaestroEngine(tiny_network), failure_rate=0.3, seed=5)
+        robust = RetryingEngine(flaky, max_attempts=10)
+        search = FlexTensorSearch(tiny_network, sample_hw, robust, seed=0)
+        search.run(60)
+        assert np.isfinite(search.best_objective)
+
+    def test_invalid_attempts(self, tiny_network):
+        with pytest.raises(EvaluationError):
+            RetryingEngine(MaestroEngine(tiny_network), max_attempts=0)

@@ -1,0 +1,152 @@
+"""Tests for the REST PPA service and its remote-engine client."""
+
+import json
+from urllib.request import Request, urlopen
+
+import numpy as np
+import pytest
+
+from repro.camodel.mapping import AscendMapping
+from repro.costmodel import MaestroEngine
+from repro.costmodel.maestro import spatial_area_mm2
+from repro.costmodel.service import (
+    PPAServiceServer,
+    RemotePPAEngine,
+    decode_object,
+    encode_object,
+)
+from repro.errors import EvaluationError
+from repro.hw import default_ascend_config
+from repro.mapping import FlexTensorSearch, GemmMapping
+
+
+@pytest.fixture()
+def server(tiny_network):
+    backend = MaestroEngine(tiny_network)
+    with PPAServiceServer(backend) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def remote(server, tiny_network):
+    return RemotePPAEngine(
+        tiny_network, server.url, area_fn=spatial_area_mm2
+    )
+
+
+class TestCodec:
+    def test_spatial_hw_roundtrip(self, sample_hw):
+        assert decode_object(encode_object(sample_hw)) == sample_hw
+
+    def test_ascend_hw_roundtrip(self):
+        hw = default_ascend_config()
+        assert decode_object(encode_object(hw)) == hw
+
+    def test_gemm_mapping_roundtrip(self):
+        mapping = GemmMapping(4, 8, 16, loop_order=("k", "m", "n"), unroll=4)
+        assert decode_object(encode_object(mapping)) == mapping
+
+    def test_ascend_mapping_roundtrip(self):
+        mapping = AscendMapping(4, 8, 16, fuse_output=True)
+        assert decode_object(encode_object(mapping)) == mapping
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(EvaluationError):
+            decode_object({"type": "Mystery", "fields": {}})
+
+    def test_payload_is_json_serializable(self, sample_hw):
+        json.dumps(encode_object(sample_hw))
+
+
+class TestServer:
+    def test_health(self, server, tiny_network):
+        with urlopen(f"{server.url}/health") as response:
+            payload = json.loads(response.read())
+        assert payload["status"] == "ok"
+        assert payload["workload"] == tiny_network.name
+
+    def test_evaluate_layer_endpoint(self, server, sample_hw):
+        request = Request(
+            f"{server.url}/evaluate_layer",
+            data=json.dumps(
+                {
+                    "hw": encode_object(sample_hw),
+                    "mapping": encode_object(GemmMapping(4, 8, 4)),
+                    "layer": "gemm",
+                }
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urlopen(request) as response:
+            payload = json.loads(response.read())
+        assert payload["feasible"]
+        assert payload["latency_s"] > 0
+
+    def test_bad_layer_is_400(self, server, sample_hw):
+        request = Request(
+            f"{server.url}/evaluate_layer",
+            data=json.dumps(
+                {
+                    "hw": encode_object(sample_hw),
+                    "mapping": encode_object(GemmMapping(1, 1, 1)),
+                    "layer": "missing",
+                }
+            ).encode(),
+        )
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urlopen(request)
+        assert exc_info.value.code == 400
+
+    def test_unknown_path_is_404(self, server):
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urlopen(f"{server.url}/nope")
+        assert exc_info.value.code == 404
+
+
+class TestRemoteEngine:
+    def test_matches_local_engine(self, remote, tiny_network, sample_hw):
+        local = MaestroEngine(tiny_network)
+        mapping = GemmMapping(4, 8, 4)
+        remote_result = remote.evaluate_layer(sample_hw, mapping, "gemm")
+        local_result = local.evaluate_layer(sample_hw, mapping, "gemm")
+        assert remote_result.latency_s == pytest.approx(local_result.latency_s)
+        assert remote_result.energy_j == pytest.approx(local_result.energy_j)
+
+    def test_caching_avoids_second_request(self, remote, server, sample_hw):
+        mapping = GemmMapping(4, 8, 4)
+        remote.evaluate_layer(sample_hw, mapping, "gemm")
+        backend_queries = server.engine.num_queries
+        remote.evaluate_layer(sample_hw, mapping, "gemm")
+        assert server.engine.num_queries == backend_queries  # served from cache
+        assert remote.num_cache_hits == 1
+
+    def test_infeasible_transported(self, remote, tiny_network):
+        from repro.hw import edge_design_space
+
+        tiny_hw = edge_design_space().to_config(
+            {
+                "pe_x": 1,
+                "pe_y": 1,
+                "l1_bytes": 64,
+                "l2_kb": 8,
+                "noc_bw": 64,
+                "dataflow": "ws",
+            }
+        )
+        result = remote.evaluate_layer(tiny_hw, GemmMapping(32, 64, 48), "gemm")
+        assert not result.feasible
+        assert np.isinf(result.latency_s)
+
+    def test_full_search_through_service(self, remote, tiny_network, sample_hw):
+        """A mapping search can run entirely against the remote engine."""
+        search = FlexTensorSearch(tiny_network, sample_hw, remote, seed=0)
+        search.run(15)
+        assert np.isfinite(search.best_objective)
+        assert search.best_ppa.feasible
+
+    def test_health_passthrough(self, remote):
+        assert remote.health()["status"] == "ok"

@@ -1,0 +1,114 @@
+"""Smoke-scale end-to-end tests of every table/figure harness.
+
+These run the real experiment code paths at the ``smoke`` preset on a tiny
+workload, asserting structure (the right rows/series exist and are sane),
+not absolute numbers — statistical shape claims live in the benchmarks.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    format_table,
+    run_fig7_network,
+    run_fig8,
+    run_fig9,
+    run_fig10_network,
+    run_fig11,
+    run_table,
+    speedup_to_reach,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_name(request):
+    """Use a small real network so registry-based lookups work."""
+    return "fsrcnn_120x320"
+
+
+class TestTableHarness:
+    def test_table_structure(self):
+        record = run_table("edge", ["fsrcnn_120x320"], "smoke", seed=2)
+        assert "fsrcnn_120x320" in record.children
+        row = record.children["fsrcnn_120x320"]
+        for method in ("hasco", "nsgaii", "unico"):
+            cell = row.children[method].metrics
+            assert cell["cost_h"] > 0
+            assert cell["latency_ms"] > 0
+
+    def test_formatting(self):
+        record = run_table("edge", ["fsrcnn_120x320"], "smoke", seed=2)
+        text = format_table(record)
+        assert "fsrcnn_120x320" in text
+        assert "hasco" in text
+
+    def test_json_serializable(self):
+        record = run_table("edge", ["fsrcnn_120x320"], "smoke", seed=2)
+        json.loads(record.to_json())
+
+
+class TestFig7Harness:
+    def test_panel_structure(self):
+        record = run_fig7_network("edge", "fsrcnn_120x320", "smoke", seed=3)
+        assert record.get("ideal_hv") > 0
+        grid = record.get("time_grid_s")
+        for method in ("hasco", "nsgaii", "mobohb", "unico"):
+            curve = record.children[method].get("hv_diff_curve")
+            assert len(curve) == len(grid)
+            assert all(v >= 0 for v in curve)
+            # HV difference curves are non-increasing in time
+            assert all(b <= a + 1e-12 for a, b in zip(curve, curve[1:]))
+
+    def test_speedup_metric(self):
+        record = run_fig7_network("edge", "fsrcnn_120x320", "smoke", seed=3)
+        value = speedup_to_reach(record)
+        assert value > 0
+
+
+class TestFig8Harness:
+    def test_record_structure(self):
+        record = run_fig8("smoke", seed=2, train_networks=("fsrcnn_120x320",),
+                          validation_networks=("fsrcnn_240x640",))
+        assert record.get("pareto_size") >= 0
+        if record.get("num_pairs"):
+            pair = record.children["pair_0"]
+            assert pair.get("robust_r") <= pair.get("fragile_r")
+            assert "robust_mean_latency_ms" in pair.metrics
+
+
+class TestFig9Harness:
+    def test_record_structure(self):
+        record = run_fig9(
+            "smoke",
+            seed=2,
+            train_networks=("fsrcnn_120x320",),
+            validation_networks=("fsrcnn_240x640", "dleu"),
+        )
+        if "error" not in record.metrics:
+            for network in ("fsrcnn_240x640", "dleu"):
+                child = record.children[network]
+                assert child.get("gain_ratio") is not None
+            assert record.get("mean_gain_ratio") is not None
+
+
+class TestFig10Harness:
+    def test_panel_structure(self):
+        record = run_fig10_network("fsrcnn_120x320", "smoke", seed=4)
+        for method in ("hasco", "sh_champion", "msh_champion", "unico"):
+            assert record.children[method].get("final_hv") >= 0
+        assert "improvement_over_hasco_pct" in record.children["unico"].metrics
+
+
+class TestFig11Harness:
+    def test_record_structure(self):
+        record = run_fig11("smoke", seed=5, networks=["fsrcnn_120x320"])
+        child = record.children["fsrcnn_120x320"]
+        assert child.get("default_latency_ms") > 0
+        if "error" not in child.metrics:
+            assert "latency_saving_pct" in child.metrics
+            assert "power_saving_pct" in child.metrics
+            rebalance = child.get("buffer_rebalance")
+            assert set(rebalance) == {"l0a_kb", "l0b_kb", "l0c_kb"}
+        assert record.get("default_hw")

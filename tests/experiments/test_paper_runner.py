@@ -1,0 +1,47 @@
+"""Tests for the one-shot reproduction driver."""
+
+import json
+
+import pytest
+
+from repro.experiments.paper_runner import EXPERIMENTS, run_everything
+
+
+class TestRunEverything:
+    def test_subset_runs_and_writes(self, tmp_path):
+        messages = []
+        summary = run_everything(
+            preset="smoke",
+            seed=3,
+            results_dir=tmp_path,
+            only=["fig10"],
+            progress=messages.append,
+        )
+        assert "fig10" in summary.children
+        payload = json.loads((tmp_path / "fig10.json").read_text())
+        assert payload["name"] == "fig10"
+        assert any("running fig10" in m for m in messages)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_everything(only=["fig99"])
+
+    def test_registry_covers_all_paper_artifacts(self):
+        assert set(EXPERIMENTS) == {
+            "table1_edge",
+            "table2_cloud",
+            "fig7a_edge",
+            "fig7b_cloud",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+        }
+
+    def test_summary_metadata(self, tmp_path):
+        summary = run_everything(
+            preset="smoke", seed=1, results_dir=None, only=["fig10"]
+        )
+        assert summary.get("preset") == "smoke"
+        assert summary.get("seed") == 1
+        assert summary.get("experiments") == ["fig10"]

@@ -1,0 +1,87 @@
+"""Tests for the markdown report generator."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.reporting import generate_report, load_records
+from repro.utils.records import RunRecord
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    table = RunRecord("table-edge")
+    table.put("scenario", "edge")
+    table.put("methods", ["hasco", "unico"])
+    row = table.child("bert")
+    row.child("hasco").update(
+        {"latency_ms": 10.0, "power_mw": 100.0, "area_mm2": 2.0, "cost_h": 5.0}
+    )
+    row.child("unico").update(
+        {"latency_ms": 8.0, "power_mw": 80.0, "area_mm2": 1.8, "cost_h": 1.0}
+    )
+    (tmp_path / "table1_edge.json").write_text(table.to_json())
+
+    fig = RunRecord("fig9")
+    fig.put("mean_gain_ratio", 1.14)
+    fig.child("unet").put("gain_ratio", 1.16)
+    (tmp_path / "fig9.json").write_text(fig.to_json())
+    return tmp_path
+
+
+class TestLoadRecords:
+    def test_loads_known_files(self, results_dir):
+        records = load_records(results_dir)
+        assert set(records) == {"table1_edge", "fig9"}
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        assert load_records(tmp_path / "nothing") == {}
+
+
+class TestGenerateReport:
+    def test_contains_table_rows(self, results_dir):
+        markdown = generate_report(results_dir)
+        assert "| bert |" in markdown
+        assert "unico" in markdown
+
+    def test_contains_fig_metrics(self, results_dir):
+        markdown = generate_report(results_dir)
+        assert "mean_gain_ratio" in markdown
+        assert "1.14" in markdown
+
+    def test_empty_dir_message(self, tmp_path):
+        markdown = generate_report(tmp_path)
+        assert "No records found" in markdown
+
+    def test_valid_markdown_table_shape(self, results_dir):
+        markdown = generate_report(results_dir)
+        table_lines = [l for l in markdown.splitlines() if l.startswith("| bert")]
+        assert len(table_lines) == 1
+        # 1 network column + 2 methods x 4 metrics
+        assert table_lines[0].count("|") == 10
+
+
+class TestCsvExport:
+    def test_hv_curves_csv(self):
+        from repro.experiments.reporting import hv_curves_to_csv
+
+        record = RunRecord("fig7-edge")
+        panel = record.child("bert")
+        panel.put("time_grid_s", [1.0, 2.0])
+        panel.child("unico").put("hv_diff_curve", [0.5, 0.2])
+        csv = hv_curves_to_csv(record)
+        lines = csv.splitlines()
+        assert lines[0] == "network,method,time_s,hv_diff"
+        assert "bert,unico,1.0,0.5" in lines
+        assert "bert,unico,2.0,0.2" in lines
+
+    def test_table_csv(self):
+        from repro.experiments.reporting import table_to_csv
+
+        record = RunRecord("table-edge")
+        record.child("bert").child("unico").update(
+            {"latency_ms": 1.5, "power_mw": 100.0, "area_mm2": 2.0, "cost_h": 0.5}
+        )
+        csv = table_to_csv(record)
+        assert "bert,unico,1.5,100.0,2.0,0.5" in csv

@@ -1,0 +1,101 @@
+"""Tests for composable design constraints."""
+
+import pytest
+
+from repro.costmodel.results import NetworkPPA
+from repro.errors import ConfigurationError
+from repro.hw.constraints import (
+    AreaCap,
+    ConstraintSet,
+    LatencyCap,
+    MinBufferBytes,
+    PowerCap,
+)
+
+
+def _ppa(latency=1e-3, power=0.5, area=3.0) -> NetworkPPA:
+    return NetworkPPA(
+        latency_s=latency,
+        energy_j=latency * power,
+        power_w=power,
+        area_mm2=area,
+        feasible=True,
+    )
+
+
+class TestIndividualConstraints:
+    def test_power_cap(self, sample_hw):
+        assert PowerCap(2.0).satisfied(sample_hw, _ppa(power=1.9))
+        assert not PowerCap(2.0).satisfied(sample_hw, _ppa(power=2.1))
+
+    def test_area_cap(self, sample_hw):
+        assert AreaCap(200.0).satisfied(sample_hw, _ppa(area=150))
+        assert not AreaCap(200.0).satisfied(sample_hw, _ppa(area=250))
+
+    def test_latency_cap(self, sample_hw):
+        assert LatencyCap(0.010).satisfied(sample_hw, _ppa(latency=0.005))
+        assert not LatencyCap(0.010).satisfied(sample_hw, _ppa(latency=0.050))
+
+    def test_min_buffer(self, sample_hw):
+        assert MinBufferBytes("l1_bytes", 1024).satisfied(sample_hw, _ppa())
+        assert not MinBufferBytes("l1_bytes", 10**9).satisfied(sample_hw, _ppa())
+
+    def test_missing_attribute_fails_safe(self, sample_hw):
+        assert not MinBufferBytes("l9_bytes", 1).satisfied(sample_hw, _ppa())
+
+    @pytest.mark.parametrize(
+        "cls,kwargs",
+        [
+            (PowerCap, {"cap_w": 0}),
+            (AreaCap, {"cap_mm2": -1}),
+            (LatencyCap, {"cap_s": 0}),
+        ],
+    )
+    def test_invalid_caps(self, cls, kwargs):
+        with pytest.raises(ConfigurationError):
+            cls(**kwargs)
+
+    def test_descriptions(self):
+        assert "W" in PowerCap(2.0).describe()
+        assert "mm^2" in AreaCap(200.0).describe()
+        assert "ms" in LatencyCap(0.01).describe()
+
+
+class TestConstraintSet:
+    def test_all_of_semantics(self, sample_hw):
+        rules = ConstraintSet([PowerCap(2.0), AreaCap(5.0)])
+        ok, violations = rules.check(sample_hw, _ppa(power=1.0, area=3.0))
+        assert ok and violations == []
+        ok, violations = rules.check(sample_hw, _ppa(power=3.0, area=6.0))
+        assert not ok
+        assert len(violations) == 2
+
+    def test_from_caps(self, sample_hw):
+        rules = ConstraintSet.from_caps(power_cap_w=2.0, area_cap_mm2=None)
+        assert len(rules) == 1
+        assert rules.satisfied(sample_hw, _ppa(power=1.0))
+
+    def test_empty_always_satisfied(self, sample_hw):
+        assert ConstraintSet().satisfied(sample_hw, _ppa(power=1e9))
+        assert ConstraintSet().describe() == "unconstrained"
+
+    def test_describe_joins(self):
+        rules = ConstraintSet([PowerCap(2.0), AreaCap(5.0)])
+        assert " AND " in rules.describe()
+
+
+class TestIntegrationWithAssembleObjectives:
+    def test_extra_constraints_filter(self, tiny_network, sample_hw):
+        from repro.core.evaluation import SWSearchTrial, assemble_objectives
+        from repro.costmodel import MaestroEngine
+
+        engine = MaestroEngine(tiny_network)
+        trial = SWSearchTrial(sample_hw, tiny_network, engine, seed=0)
+        trial.run(10)
+        # a latency cap the tiny run cannot meet
+        strict = ConstraintSet([LatencyCap(1e-12)])
+        evaluation = assemble_objectives(trial, constraints=strict)
+        assert not evaluation.feasible
+        relaxed = ConstraintSet([LatencyCap(1e6)])
+        evaluation = assemble_objectives(trial, constraints=relaxed)
+        assert evaluation.feasible

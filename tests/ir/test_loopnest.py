@@ -1,0 +1,139 @@
+"""Tests (incl. property-based) for the loop-nest IR."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError
+from repro.ir import Loop, LoopNest, gemm_domain
+from repro.utils.intmath import divisors
+
+
+@pytest.fixture()
+def nest():
+    return LoopNest.from_domain(gemm_domain(8, 12, 6))
+
+
+class TestConstruction:
+    def test_canonical_nest(self, nest):
+        assert [l.name for l in nest.loops] == ["m.0", "n.0", "k.0"]
+        assert nest.volume() == 8 * 12 * 6
+        assert nest.is_equivalent_to_domain()
+
+    def test_bad_extent(self):
+        with pytest.raises(MappingError):
+            Loop(dim="m", name="m.0", extent=0)
+
+    def test_bad_binding(self):
+        with pytest.raises(MappingError):
+            Loop(dim="m", name="m.0", extent=2, binding="vector")
+
+    def test_duplicate_names_rejected(self):
+        loop = Loop(dim="m", name="m.0", extent=2)
+        with pytest.raises(MappingError):
+            LoopNest(loops=(loop, loop), domain=(("m", 4),))
+
+
+class TestSplit:
+    def test_split_preserves_volume(self, nest):
+        split = nest.split("m.0", 4)
+        assert split.volume() == nest.volume()
+        assert split.is_equivalent_to_domain()
+
+    def test_split_extents(self, nest):
+        split = nest.split("m.0", 4)
+        assert split.loop("m.0").extent == 2
+        assert split.loop("m.1").extent == 4
+
+    def test_split_inserts_adjacent(self, nest):
+        split = nest.split("n.0", 3)
+        names = [l.name for l in split.loops]
+        assert names == ["m.0", "n.0", "n.1", "k.0"]
+
+    def test_non_dividing_factor_rejected(self, nest):
+        with pytest.raises(MappingError):
+            nest.split("m.0", 3)
+
+    def test_repeated_split_unique_names(self, nest):
+        twice = nest.split("m.0", 4).split("m.1", 2)
+        names = {l.name for l in twice.loops if l.dim == "m"}
+        assert names == {"m.0", "m.1", "m.2"}
+
+
+class TestReorder:
+    def test_permutes(self, nest):
+        reordered = nest.reorder(["k.0", "m.0", "n.0"])
+        assert [l.name for l in reordered.loops] == ["k.0", "m.0", "n.0"]
+
+    def test_must_be_permutation(self, nest):
+        with pytest.raises(MappingError):
+            nest.reorder(["m.0", "n.0"])
+        with pytest.raises(MappingError):
+            nest.reorder(["m.0", "m.0", "k.0"])
+
+
+class TestBind:
+    def test_bind_spatial(self, nest):
+        bound = nest.bind("m.0", "spatial_x")
+        assert bound.loop("m.0").binding == "spatial_x"
+        assert len(bound.spatial_loops()) == 1
+
+    def test_spatial_binding_exclusive(self, nest):
+        bound = nest.bind("m.0", "spatial_x")
+        with pytest.raises(MappingError):
+            bound.bind("n.0", "spatial_x")
+
+    def test_rebind_same_axis_allowed(self, nest):
+        bound = nest.bind("m.0", "spatial_x").bind("m.0", "spatial_x")
+        assert bound.loop("m.0").binding == "spatial_x"
+
+    def test_unknown_binding(self, nest):
+        with pytest.raises(MappingError):
+            nest.bind("m.0", "warp")
+
+
+class TestFuse:
+    def test_fuse_inverse_of_split(self, nest):
+        roundtrip = nest.split("m.0", 4).fuse("m.0", "m.1")
+        assert roundtrip.loop("m.0").extent == 8
+        assert roundtrip.volume() == nest.volume()
+
+    def test_fuse_requires_adjacency(self, nest):
+        split = nest.split("m.0", 4).reorder(["m.0", "n.0", "m.1", "k.0"])
+        with pytest.raises(MappingError):
+            split.fuse("m.0", "m.1")
+
+    def test_fuse_requires_same_dim(self, nest):
+        with pytest.raises(MappingError):
+            nest.fuse("m.0", "n.0")
+
+
+class TestPretty:
+    def test_pretty_mentions_bindings(self, nest):
+        text = nest.split("m.0", 4).bind("m.1", "spatial_x").pretty()
+        assert "par_x m.1" in text
+        assert "for m.0" in text
+
+
+@given(
+    st.integers(2, 256),
+    st.integers(2, 256),
+    st.integers(2, 256),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=50)
+def test_random_split_chains_preserve_domain(m, n, k, seed):
+    """Any chain of valid splits keeps the nest domain-equivalent."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    nest = LoopNest.from_domain(gemm_domain(m, n, k))
+    for _ in range(4):
+        target = nest.loops[int(rng.integers(0, len(nest.loops)))]
+        options = [d for d in divisors(target.extent) if d > 1]
+        if not options:
+            continue
+        factor = int(options[int(rng.integers(0, len(options)))])
+        nest = nest.split(target.name, factor)
+    assert nest.is_equivalent_to_domain()
+    assert nest.volume() == m * n * k

@@ -1,0 +1,112 @@
+"""Tests for lowering/raising between schedules and mappings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError
+from repro.ir import (
+    LoopNest,
+    Schedule,
+    gemm_domain,
+    lower_to_mapping,
+    raise_from_mapping,
+)
+from repro.mapping.gemm_mapping import GemmMapping, GemmMappingSpace
+from repro.workloads.layers import GemmShape
+
+
+def _scheduled_nest(m=64, n=48, k=32):
+    """Hand-schedule a GEMM: tile m/n, spatially bind tiles, unroll k."""
+    schedule = Schedule(LoopNest.from_domain(gemm_domain(m, n, k)))
+    schedule.split("m.0", 16).split("n.0", 8).split("k.0", 16)
+    schedule.reorder(["n.0", "m.0", "k.0", "m.1", "n.1", "k.1"])
+    schedule.bind("m.1", "spatial_x")
+    schedule.bind("n.1", "spatial_y")
+    schedule.split("k.1", 4)
+    schedule.bind("k.2", "unroll")
+    return schedule
+
+
+class TestLowering:
+    def test_hand_schedule_lowers(self):
+        schedule = _scheduled_nest()
+        mapping = lower_to_mapping(schedule.nest)
+        assert mapping.tile_m == 16
+        assert mapping.tile_n == 8
+        assert mapping.tile_k == 16
+        assert mapping.loop_order == ("n", "m", "k")
+        assert mapping.spatial == "mn"
+        assert mapping.unroll == 4
+
+    def test_missing_spatial_rejected(self):
+        nest = LoopNest.from_domain(gemm_domain(8, 8, 8))
+        with pytest.raises(MappingError):
+            lower_to_mapping(nest)
+
+    def test_spatial_on_k_rejected(self):
+        nest = (
+            LoopNest.from_domain(gemm_domain(8, 8, 8))
+            .bind("k.0", "spatial_x")
+            .bind("m.0", "spatial_y")
+        )
+        with pytest.raises(MappingError):
+            lower_to_mapping(nest)
+
+    def test_two_unrolls_rejected(self):
+        schedule = _scheduled_nest()
+        nest = schedule.nest.split("k.0", 2).bind("k.3", "unroll")
+        with pytest.raises(MappingError):
+            lower_to_mapping(nest)
+
+    def test_nm_spatial_mode(self):
+        schedule = Schedule(LoopNest.from_domain(gemm_domain(32, 32, 8)))
+        schedule.split("m.0", 8).split("n.0", 8)
+        schedule.reorder(["m.0", "n.0", "k.0", "n.1", "m.1"])
+        schedule.bind("n.1", "spatial_x").bind("m.1", "spatial_y")
+        mapping = lower_to_mapping(schedule.nest)
+        assert mapping.spatial == "nm"
+
+
+class TestRoundTrip:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=40)
+    def test_raise_then_lower_is_identity(self, seed):
+        shape = GemmShape(m=96, n=360, k=48)
+        space = GemmMappingSpace(shape)
+        mapping = space.sample(seed=seed)
+        nest = raise_from_mapping(mapping, shape.m, shape.n, shape.k)
+        assert nest.is_equivalent_to_domain()
+        recovered = lower_to_mapping(nest)
+        assert recovered.tile_m == mapping.tile_m
+        assert recovered.tile_n == mapping.tile_n
+        assert recovered.tile_k == mapping.tile_k
+        assert recovered.loop_order == mapping.loop_order
+        assert recovered.spatial == mapping.spatial
+        # unroll degrades to 1 only when it does not divide the k tile
+        if mapping.tile_k % mapping.unroll == 0:
+            assert recovered.unroll == mapping.unroll
+
+    def test_non_dividing_tiles_rejected(self):
+        with pytest.raises(MappingError):
+            raise_from_mapping(GemmMapping(7, 8, 8), 64, 64, 64)
+
+
+class TestSchedule:
+    def test_trace_replay_matches(self):
+        schedule = _scheduled_nest()
+        replayed = schedule.replay()
+        assert replayed == schedule.nest
+
+    def test_serialization_roundtrip(self):
+        schedule = _scheduled_nest()
+        restored = Schedule.from_dict(schedule.to_dict())
+        assert restored.nest == schedule.nest
+        assert lower_to_mapping(restored.nest) == lower_to_mapping(schedule.nest)
+
+    def test_trace_records_every_step(self):
+        schedule = _scheduled_nest()
+        kinds = [step.kind for step in schedule.trace]
+        assert kinds.count("split") == 4
+        assert kinds.count("bind") == 3
+        assert kinds.count("reorder") == 1

@@ -1,0 +1,142 @@
+"""Tests for the mesh NoC topology and transfer model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel import MaestroEngine
+from repro.errors import ConfigurationError
+from repro.noc import (
+    MeshAwareMaestroEngine,
+    MeshTopology,
+    congestion_factor,
+    mesh_for,
+    multicast_transfer,
+)
+
+
+@pytest.fixture()
+def mesh():
+    return MeshTopology(width=4, height=3)
+
+
+class TestTopology:
+    def test_counts(self, mesh):
+        assert mesh.num_nodes == 12
+        # directed links: 2*(3*3) horizontal + 2*(4*2) vertical
+        assert mesh.num_links == 2 * 9 + 2 * 8
+
+    def test_hop_distance_manhattan(self, mesh):
+        assert mesh.hop_distance((0, 0), (3, 2)) == 5
+        assert mesh.hop_distance((1, 1), (1, 1)) == 0
+
+    def test_route_is_xy(self, mesh):
+        path = mesh.route((0, 0), (2, 1))
+        assert path == [(0, 0), (1, 0), (2, 0), (2, 1)]
+
+    def test_route_length_matches_distance(self, mesh):
+        path = mesh.route((3, 2), (0, 0))
+        assert len(path) - 1 == mesh.hop_distance((3, 2), (0, 0))
+
+    def test_outside_rejected(self, mesh):
+        with pytest.raises(ConfigurationError):
+            mesh.hop_distance((0, 0), (4, 0))
+
+    def test_multicast_shares_prefix(self, mesh):
+        # both destinations share the first hop along the row
+        shared = mesh.multicast_links((0, 0), [(2, 0), (3, 0)])
+        separate = mesh.hop_distance((0, 0), (2, 0)) + mesh.hop_distance(
+            (0, 0), (3, 0)
+        )
+        assert shared == 3  # the row's 3 links, counted once
+        assert shared < separate
+
+    def test_broadcast_links_spanning_tree(self, mesh):
+        # X-Y broadcast tree from (0,0): row 0 (width-1 links) then each
+        # column goes up (width * (height-1) links)
+        expected = (mesh.width - 1) + mesh.width * (mesh.height - 1)
+        assert mesh.broadcast_links() == expected
+
+    def test_bisection(self, mesh):
+        assert mesh.bisection_bandwidth == 2 * 3 * mesh.link_bw_bytes_per_cycle
+
+    def test_invalid_mesh(self):
+        with pytest.raises(ConfigurationError):
+            MeshTopology(0, 3)
+
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40)
+    def test_multicast_links_bounded(self, width, height, seed):
+        """Tree links never exceed the sum of unicast path lengths and never
+        undercut the deepest path."""
+        mesh = MeshTopology(width, height)
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(1, 5))
+        destinations = [
+            (int(rng.integers(0, width)), int(rng.integers(0, height)))
+            for _ in range(count)
+        ]
+        links = mesh.multicast_links((0, 0), destinations)
+        unicast_sum = sum(mesh.hop_distance((0, 0), d) for d in destinations)
+        deepest = mesh.multicast_depth((0, 0), destinations)
+        assert deepest <= links <= max(unicast_sum, deepest)
+
+
+class TestTransferModel:
+    def test_multicast_estimate_positive(self, mesh):
+        estimate = multicast_transfer(mesh, 1024, destinations_per_row=True)
+        assert estimate.cycles > 0
+        assert estimate.energy_j > 0
+        assert estimate.links_used == mesh.width - 1
+
+    def test_congestion_grows_with_load(self, mesh):
+        low = congestion_factor(1.0, mesh)
+        high = congestion_factor(mesh.bisection_bandwidth * 0.9, mesh)
+        assert low < high
+        assert low >= 1.0
+
+    def test_congestion_clamped(self, mesh):
+        extreme = congestion_factor(mesh.bisection_bandwidth * 100, mesh)
+        assert extreme <= 20.1  # 1 / (1 - 0.95)
+
+    def test_mesh_for_uses_pe_array(self, sample_hw):
+        mesh = mesh_for(sample_hw)
+        assert mesh.width == sample_hw.pe_x
+        assert mesh.height == sample_hw.pe_y
+
+
+class TestMeshAwareEngine:
+    def test_not_faster_than_baseline(self, tiny_network, sample_hw):
+        """Extra interconnect detail can only add latency/energy."""
+        from repro.mapping import GemmMapping
+
+        base = MaestroEngine(tiny_network)
+        refined = MeshAwareMaestroEngine(tiny_network)
+        mapping = GemmMapping(8, 16, 8)
+        a = base.evaluate_layer(sample_hw, mapping, "gemm")
+        b = refined.evaluate_layer(sample_hw, mapping, "gemm")
+        assert b.latency_s >= a.latency_s - 1e-15
+        assert b.energy_j >= a.energy_j - 1e-24
+
+    def test_feasibility_unchanged(self, tiny_network, edge_space, rng):
+        from repro.mapping import GemmMappingSpace
+
+        base = MaestroEngine(tiny_network)
+        refined = MeshAwareMaestroEngine(tiny_network)
+        shape = tiny_network.layers[0].to_gemm()
+        space = GemmMappingSpace(shape)
+        for _ in range(20):
+            hw = edge_space.sample(rng)
+            mapping = space.sample(rng)
+            a = base.evaluate_layer(hw, mapping, tiny_network.layers[0].name)
+            b = refined.evaluate_layer(hw, mapping, tiny_network.layers[0].name)
+            assert a.feasible == b.feasible
+
+    def test_search_runs_on_refined_engine(self, tiny_network, sample_hw):
+        from repro.mapping import FlexTensorSearch
+
+        engine = MeshAwareMaestroEngine(tiny_network)
+        search = FlexTensorSearch(tiny_network, sample_hw, engine, seed=0)
+        search.run(40)
+        assert np.isfinite(search.best_objective)

@@ -1,0 +1,130 @@
+"""Tests for the from-scratch Gaussian process."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SurrogateError
+from repro.optim.gp import GaussianProcess, GPHyperparameters, matern52_kernel, rbf_kernel
+
+
+def _toy_data(n=40, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, (n, d))
+    y = np.sin(5 * x[:, 0]) + x[:, 1] ** 2
+    if d > 2:
+        y = y - 0.5 * x[:, 2]
+    return x, y
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_variance(self):
+        x = np.random.default_rng(0).uniform(0, 1, (5, 2))
+        k = rbf_kernel(x, x, np.ones(2), 2.0)
+        assert np.allclose(np.diag(k), 2.0)
+
+    def test_matern_diagonal_is_variance(self):
+        x = np.random.default_rng(0).uniform(0, 1, (5, 2))
+        k = matern52_kernel(x, x, np.ones(2), 3.0)
+        assert np.allclose(np.diag(k), 3.0)
+
+    def test_kernels_decay_with_distance(self):
+        a = np.zeros((1, 2))
+        near = np.array([[0.1, 0.1]])
+        far = np.array([[3.0, 3.0]])
+        for kernel in (rbf_kernel, matern52_kernel):
+            assert kernel(a, near, np.ones(2), 1.0) > kernel(a, far, np.ones(2), 1.0)
+
+    def test_kernel_psd(self):
+        x = np.random.default_rng(1).uniform(0, 1, (20, 3))
+        k = matern52_kernel(x, x, np.full(3, 0.5), 1.0)
+        eigenvalues = np.linalg.eigvalsh(k)
+        assert eigenvalues.min() > -1e-8
+
+
+class TestFitPredict:
+    def test_interpolates_training_data(self):
+        x, y = _toy_data()
+        gp = GaussianProcess().fit(x, y)
+        mean, std = gp.predict(x)
+        assert np.max(np.abs(mean - y)) < 0.05
+        assert np.all(std < 0.2)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x, y = _toy_data(n=20, d=2)
+        gp = GaussianProcess().fit(x, y)
+        _near_mean, near_std = gp.predict(x[:1] + 0.01)
+        _far_mean, far_std = gp.predict(np.full((1, 2), 5.0))
+        assert far_std[0] > near_std[0]
+
+    def test_generalizes_on_smooth_function(self):
+        x, y = _toy_data(n=60, d=3, seed=1)
+        x_test, y_test = _toy_data(n=20, d=3, seed=2)
+        gp = GaussianProcess().fit(x, y)
+        mean, _std = gp.predict(x_test)
+        rmse = float(np.sqrt(np.mean((mean - y_test) ** 2)))
+        assert rmse < 0.25
+
+    def test_constant_targets(self):
+        x = np.random.default_rng(0).uniform(0, 1, (10, 2))
+        gp = GaussianProcess().fit(x, np.full(10, 3.0))
+        mean, _std = gp.predict(x[:3])
+        assert np.allclose(mean, 3.0, atol=1e-6)
+
+    def test_single_observation(self):
+        gp = GaussianProcess().fit(np.array([[0.5, 0.5]]), np.array([2.0]))
+        mean, std = gp.predict(np.array([[0.5, 0.5]]))
+        assert mean[0] == pytest.approx(2.0, abs=0.2)
+        assert std[0] >= 0
+
+    def test_fixed_hyper_skips_optimization(self):
+        x, y = _toy_data(n=15, d=2)
+        hyper = GPHyperparameters(np.array([0.3, 0.3]), 1.0, 1e-4)
+        gp = GaussianProcess().fit(x, y, hyper=hyper)
+        assert np.allclose(gp.hyper.lengthscales, [0.3, 0.3])
+        assert gp.hyper.variance == 1.0
+
+    def test_rbf_kernel_option(self):
+        x, y = _toy_data(n=25, d=2)
+        gp = GaussianProcess(kernel="rbf").fit(x, y)
+        mean, _ = gp.predict(x[:5])
+        assert np.max(np.abs(mean - y[:5])) < 0.1
+
+
+class TestErrors:
+    def test_unknown_kernel(self):
+        with pytest.raises(SurrogateError):
+            GaussianProcess(kernel="periodic")
+
+    def test_mismatched_sizes(self):
+        with pytest.raises(SurrogateError):
+            GaussianProcess().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_non_finite_data(self):
+        with pytest.raises(SurrogateError):
+            GaussianProcess().fit(np.array([[np.nan, 0]]), np.array([1.0]))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(SurrogateError):
+            GaussianProcess().predict(np.zeros((1, 2)))
+
+
+class TestPosteriorSampling:
+    def test_sample_shape(self):
+        x, y = _toy_data(n=20, d=2)
+        gp = GaussianProcess().fit(x, y)
+        draw = gp.sample_posterior(np.random.default_rng(0).uniform(0, 1, (7, 2)))
+        assert draw.shape == (7,)
+
+    def test_samples_vary_with_seed(self):
+        x, y = _toy_data(n=20, d=2)
+        gp = GaussianProcess().fit(x, y)
+        query = np.full((3, 2), 5.0)  # far from data -> high variance
+        assert not np.allclose(
+            gp.sample_posterior(query, seed=0), gp.sample_posterior(query, seed=1)
+        )
+
+    def test_samples_near_mean_at_training_points(self):
+        x, y = _toy_data(n=25, d=2)
+        gp = GaussianProcess().fit(x, y)
+        draw = gp.sample_posterior(x[:5], seed=0)
+        assert np.max(np.abs(draw - y[:5])) < 0.5

@@ -1,0 +1,48 @@
+"""Additional coverage: Hyperband bracket arithmetic properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optim.hyperband import hyperband_brackets
+
+
+@given(st.integers(2, 500), st.sampled_from([2.0, 3.0, 4.0]))
+@settings(max_examples=50)
+def test_bracket_properties(max_budget, eta):
+    brackets = hyperband_brackets(max_budget, eta)
+    # bracket count = s_max + 1
+    s_max = int(np.floor(np.log(max_budget) / np.log(eta)))
+    assert len(brackets) == s_max + 1
+    for bracket in brackets:
+        assert bracket.num_candidates >= 1
+        assert 1 <= bracket.initial_budget <= max_budget
+        assert bracket.num_rounds >= 1
+        # within a bracket, halving num_rounds times must reach max_budget
+        reached = bracket.initial_budget * eta ** (bracket.num_rounds - 1)
+        assert reached <= max_budget * eta  # never overshoots by > one step
+    # the last bracket is plain full-budget evaluation
+    assert brackets[-1].initial_budget == max_budget
+    assert brackets[-1].num_rounds == 1
+
+
+@given(st.integers(2, 500))
+@settings(max_examples=30)
+def test_total_work_comparable_across_brackets(max_budget):
+    """Hyperband's design: each bracket spends roughly the same budget."""
+    brackets = hyperband_brackets(max_budget, eta=3.0)
+    totals = []
+    for bracket in brackets:
+        n = bracket.num_candidates
+        budget = bracket.initial_budget
+        total = 0
+        while True:
+            total += n * budget
+            if budget >= bracket.max_budget or n <= 1:
+                break
+            n = max(1, int(np.floor(n / bracket.eta)))
+            budget = min(bracket.max_budget, int(round(budget * bracket.eta)))
+        totals.append(total)
+    # within an order of magnitude of each other (discretization slack)
+    assert max(totals) <= 10 * min(totals)

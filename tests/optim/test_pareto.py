@@ -1,0 +1,206 @@
+"""Tests (incl. property-based) for Pareto utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.optim.pareto import (
+    ObjectiveNormalizer,
+    ParetoFront,
+    crowding_distance,
+    dominates,
+    non_dominated_mask,
+    non_dominated_sort,
+    pareto_front,
+)
+
+
+class TestDominates:
+    def test_strict(self):
+        assert dominates([1, 1], [2, 2])
+
+    def test_partial(self):
+        assert dominates([1, 2], [1, 3])
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates([1, 1], [1, 1])
+
+    def test_incomparable(self):
+        assert not dominates([1, 3], [3, 1])
+        assert not dominates([3, 1], [1, 3])
+
+
+class TestParetoFrontExtraction:
+    def test_simple(self):
+        points = np.array([[1, 2], [2, 1], [2, 2], [3, 3]])
+        front = pareto_front(points)
+        assert front.shape == (2, 2)
+
+    def test_all_non_dominated(self):
+        points = np.array([[1, 3], [2, 2], [3, 1]])
+        assert pareto_front(points).shape == (3, 2)
+
+    def test_empty(self):
+        assert pareto_front(np.zeros((0, 3))).shape[0] == 0
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 25), st.just(3)),
+            elements=st.floats(0, 100),
+        )
+    )
+    @settings(max_examples=50)
+    def test_front_members_mutually_incomparable(self, points):
+        front = pareto_front(points)
+        for i in range(front.shape[0]):
+            for j in range(front.shape[0]):
+                if i != j:
+                    assert not dominates(front[i], front[j])
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 25), st.just(2)),
+            elements=st.floats(0, 100),
+        )
+    )
+    @settings(max_examples=50)
+    def test_every_point_dominated_or_on_front(self, points):
+        mask = non_dominated_mask(points)
+        front = points[mask]
+        for idx in np.flatnonzero(~mask):
+            assert any(
+                dominates(front_point, points[idx])
+                or np.array_equal(front_point, points[idx])
+                for front_point in front
+            )
+
+
+class TestNonDominatedSort:
+    def test_fronts_partition_indices(self):
+        points = np.array([[1, 1], [2, 2], [3, 3], [1, 3], [3, 1]])
+        fronts = non_dominated_sort(points)
+        all_indices = sorted(int(i) for front in fronts for i in front)
+        assert all_indices == list(range(5))
+
+    def test_first_front_matches_mask(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 1, (20, 3))
+        fronts = non_dominated_sort(points)
+        assert set(map(int, fronts[0])) == set(
+            map(int, np.flatnonzero(non_dominated_mask(points)))
+        )
+
+    def test_later_fronts_dominated_by_earlier(self):
+        points = np.array([[1, 1], [2, 2], [3, 3]])
+        fronts = non_dominated_sort(points)
+        assert len(fronts) == 3
+
+
+class TestCrowdingDistance:
+    def test_extremes_infinite(self):
+        points = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        crowd = crowding_distance(points)
+        assert np.isinf(crowd[0]) and np.isinf(crowd[-1])
+
+    def test_two_points_infinite(self):
+        assert np.all(np.isinf(crowding_distance(np.array([[1.0, 2.0], [2.0, 1.0]]))))
+
+    def test_denser_region_smaller_distance(self):
+        points = np.array([[0, 10], [1, 9], [1.1, 8.9], [5, 5], [10, 0]], dtype=float)
+        crowd = crowding_distance(points)
+        assert crowd[2] < crowd[3]
+
+
+class TestParetoFrontArchive:
+    def test_add_and_evict(self):
+        front = ParetoFront(num_objectives=2)
+        assert front.add("a", [2, 2])
+        assert front.add("b", [1, 3])
+        assert front.add("c", [1, 1])  # dominates both
+        assert len(front) == 1
+        assert front.items == ("c",)
+
+    def test_dominated_insert_rejected(self):
+        front = ParetoFront(num_objectives=2)
+        front.add("a", [1, 1])
+        assert not front.add("b", [2, 2])
+
+    def test_duplicate_rejected(self):
+        front = ParetoFront(num_objectives=2)
+        front.add("a", [1, 1])
+        assert not front.add("b", [1, 1])
+
+    def test_infinite_rejected(self):
+        front = ParetoFront(num_objectives=2)
+        assert not front.add("a", [np.inf, 1])
+
+    def test_wrong_shape(self):
+        with pytest.raises(ValueError):
+            ParetoFront(num_objectives=2).add("a", [1, 2, 3])
+
+    def test_min_euclidean_normalized(self):
+        front = ParetoFront(num_objectives=2)
+        front.add("balanced", [2.0, 2.0])
+        front.add("extreme", [1.0, 1000.0])
+        item, point = front.min_euclidean()
+        assert item == "balanced"
+        assert point.tolist() == [2.0, 2.0]
+
+    def test_min_euclidean_empty(self):
+        assert ParetoFront(num_objectives=2).min_euclidean() is None
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 100), st.floats(0.1, 100)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40)
+    def test_archive_matches_batch_front(self, raw_points):
+        """Incremental archive equals batch Pareto extraction."""
+        archive = ParetoFront(num_objectives=2)
+        for index, point in enumerate(raw_points):
+            archive.add(index, point)
+        batch = pareto_front(np.array(raw_points))
+        archive_set = {tuple(p) for p in archive.points}
+        batch_set = {tuple(p) for p in batch}
+        assert archive_set == batch_set
+
+
+class TestObjectiveNormalizer:
+    def test_transform_range(self):
+        normalizer = ObjectiveNormalizer(2)
+        normalizer.observe([0, 10])
+        normalizer.observe([10, 20])
+        assert normalizer.transform([5, 15]).tolist() == [0.5, 0.5]
+
+    def test_infinite_maps_high(self):
+        normalizer = ObjectiveNormalizer(2)
+        normalizer.observe([0, 0])
+        normalizer.observe([1, 1])
+        assert np.all(normalizer.transform([np.inf, np.inf]) == 2.0)
+
+    def test_infinite_observations_ignored(self):
+        normalizer = ObjectiveNormalizer(1)
+        normalizer.observe([np.inf])
+        normalizer.observe([1.0])
+        normalizer.observe([3.0])
+        assert normalizer.transform([2.0])[0] == pytest.approx(0.5)
+
+    def test_ready_flag(self):
+        normalizer = ObjectiveNormalizer(2)
+        assert not normalizer.ready
+        normalizer.observe([1, 2])
+        assert normalizer.ready
+
+    def test_degenerate_range(self):
+        normalizer = ObjectiveNormalizer(1)
+        normalizer.observe([5.0])
+        normalizer.observe([5.0])
+        value = normalizer.transform([5.0])[0]
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_networks_command(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet" in out
+        assert "GMACs" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "cmaes", "bert"])
+
+
+class TestRunCommand:
+    def test_run_random_smoke(self, capsys):
+        code = main(
+            ["run", "random", "fsrcnn_120x320", "--preset", "smoke", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pareto front" in out
+        assert "simulated hours" in out
+
+
+class TestTableCommand:
+    def test_table_with_json_output(self, tmp_path, capsys):
+        out_path = tmp_path / "table.json"
+        code = main(
+            [
+                "table",
+                "edge",
+                "--networks",
+                "fsrcnn_120x320",
+                "--preset",
+                "smoke",
+                "--json",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert "fsrcnn_120x320" in payload["children"]
+
+
+class TestFigCommand:
+    def test_fig10_json(self, tmp_path):
+        out_path = tmp_path / "fig10.json"
+        code = main(
+            ["fig", "10", "--preset", "smoke", "--seed", "2", "--json", str(out_path)]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["name"] == "fig10"

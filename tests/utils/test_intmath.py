@@ -1,0 +1,133 @@
+"""Tests (incl. property-based) for integer math helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.intmath import (
+    clamp,
+    divisors,
+    factorize_near,
+    nearest_divisor,
+    power_two_three_grid,
+    round_up_div,
+    snap_to_grid,
+)
+
+
+class TestRoundUpDiv:
+    @pytest.mark.parametrize(
+        "n,d,expected", [(0, 1, 0), (1, 1, 1), (7, 2, 4), (8, 2, 4), (9, 2, 5)]
+    )
+    def test_values(self, n, d, expected):
+        assert round_up_div(n, d) == expected
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ValueError):
+            round_up_div(1, 0)
+
+    def test_negative_numerator_rejected(self):
+        with pytest.raises(ValueError):
+            round_up_div(-1, 2)
+
+    @given(st.integers(0, 10**6), st.integers(1, 10**4))
+    def test_matches_ceil(self, n, d):
+        assert round_up_div(n, d) == -(-n // d)
+
+
+class TestDivisors:
+    def test_one(self):
+        assert divisors(1) == (1,)
+
+    def test_prime(self):
+        assert divisors(13) == (1, 13)
+
+    def test_composite(self):
+        assert divisors(12) == (1, 2, 3, 4, 6, 12)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    @given(st.integers(1, 5000))
+    @settings(max_examples=60)
+    def test_all_divide_and_sorted(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert list(ds) == sorted(ds)
+        assert ds[0] == 1 and ds[-1] == n
+
+
+class TestNearestDivisor:
+    def test_exact(self):
+        assert nearest_divisor(12, 4) == 4
+
+    def test_between(self):
+        assert nearest_divisor(12, 5) in (4, 6)
+
+    @given(st.integers(1, 2000), st.integers(1, 3000))
+    @settings(max_examples=60)
+    def test_result_divides(self, n, target):
+        d = nearest_divisor(n, target)
+        assert n % d == 0
+        # no divisor is strictly closer
+        assert all(abs(d - target) <= abs(other - target) for other in divisors(n))
+
+
+class TestPowerTwoThreeGrid:
+    def test_small(self):
+        assert power_two_three_grid(1, 1) == (1, 2, 3, 6)
+
+    def test_scale(self):
+        assert power_two_three_grid(1, 0, scale=10) == (10, 20)
+
+    def test_sorted_unique(self):
+        grid = power_two_three_grid(5, 5)
+        assert list(grid) == sorted(set(grid))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            power_two_three_grid(-1, 0)
+
+
+class TestSnapToGrid:
+    def test_snaps_to_closest(self):
+        assert snap_to_grid(5, [1, 4, 8]) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            snap_to_grid(5, [])
+
+
+class TestFactorizeNear:
+    @given(st.integers(1, 4000), st.integers(1, 4))
+    @settings(max_examples=60)
+    def test_product_invariant(self, n, parts):
+        factors = factorize_near(n, parts)
+        assert len(factors) == parts
+        assert int(np.prod(factors)) == n
+
+    def test_random_variant_preserves_product(self):
+        rng = np.random.default_rng(0)
+        factors = factorize_near(360, 3, rng)
+        assert int(np.prod(factors)) == 360
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ValueError):
+            factorize_near(10, 0)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0, 1) == 0.5
+
+    def test_low(self):
+        assert clamp(-1, 0, 1) == 0
+
+    def test_high(self):
+        assert clamp(2, 0, 1) == 1
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            clamp(0, 1, 0)

@@ -1,0 +1,80 @@
+"""Tests for run records and JSON normalization."""
+
+import dataclasses
+import json
+
+import numpy as np
+
+from repro.utils.records import RunRecord, to_jsonable
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        assert to_jsonable(3) == 3
+        assert to_jsonable(2.5) == 2.5
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(4)) == 4
+        assert to_jsonable(np.float32(1.5)) == 1.5
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_nested_dict(self):
+        payload = to_jsonable({"a": np.array([1.0]), "b": {"c": np.int32(2)}})
+        json.dumps(payload)  # must not raise
+        assert payload == {"a": [1.0], "b": {"c": 2}}
+
+    def test_dataclass(self):
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            y: float
+
+        assert to_jsonable(Point(1, 2.0)) == {"x": 1, "y": 2.0}
+
+    def test_tuple_and_set(self):
+        assert to_jsonable((1, 2)) == [1, 2]
+        assert sorted(to_jsonable({3, 1})) == [1, 3]
+
+    def test_fallback_to_str(self):
+        class Opaque:
+            def __repr__(self):
+                return "opaque!"
+
+        assert to_jsonable(Opaque()) == "opaque!"
+
+
+class TestRunRecord:
+    def test_put_and_get(self):
+        record = RunRecord("r").put("a", 1)
+        assert record.get("a") == 1
+        assert record.get("missing", 7) == 7
+
+    def test_child_created_once(self):
+        record = RunRecord("r")
+        assert record.child("c") is record.child("c")
+
+    def test_roundtrip(self):
+        record = RunRecord("root")
+        record.put("x", np.float64(1.5))
+        record.child("sub").put("y", [1, 2])
+        restored = RunRecord.from_dict(json.loads(record.to_json()))
+        assert restored.name == "root"
+        assert restored.get("x") == 1.5
+        assert restored.children["sub"].get("y") == [1, 2]
+
+    def test_rows_flatten(self):
+        record = RunRecord("root")
+        record.put("m", 1)
+        record.child("a").put("n", 2)
+        rows = record.rows()
+        paths = {row["path"] for row in rows}
+        assert paths == {"root", "root/a"}
+
+    def test_update_chains(self):
+        record = RunRecord("r").update({"a": 1, "b": 2})
+        assert record.metrics == {"a": 1, "b": 2}

@@ -1,0 +1,45 @@
+"""Property-based round-trip tests for run records."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.records import RunRecord, to_jsonable
+
+_metric_values = st.one_of(
+    st.integers(-(10**9), 10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.booleans(),
+    st.none(),
+)
+
+_metric_dicts = st.dictionaries(
+    st.text(min_size=1, max_size=10), _metric_values, max_size=5
+)
+
+
+@given(_metric_dicts, _metric_dicts)
+@settings(max_examples=50)
+def test_record_roundtrip_property(parent_metrics, child_metrics):
+    record = RunRecord("root")
+    record.update(parent_metrics)
+    record.child("sub").update(child_metrics)
+    restored = RunRecord.from_dict(json.loads(record.to_json()))
+    assert restored.metrics == to_jsonable(parent_metrics)
+    assert restored.children["sub"].metrics == to_jsonable(child_metrics)
+
+
+@given(st.lists(st.text(min_size=1, max_size=8), unique=True, max_size=6))
+@settings(max_examples=30)
+def test_rows_cover_all_children(child_names):
+    record = RunRecord("root")
+    record.put("x", 1)
+    for name in child_names:
+        record.child(name).put("y", 2)
+    rows = record.rows()
+    paths = {row["path"] for row in rows}
+    assert "root" in paths
+    for name in child_names:
+        assert f"root/{name}" in paths

@@ -1,0 +1,80 @@
+"""Tests for seeded random-number plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeedSequenceFactory, as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1_000_000, size=10)
+        b = as_generator(42).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=10)
+        b = as_generator(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSeedSequenceFactory:
+    def test_same_stream_same_state(self):
+        factory = SeedSequenceFactory(7)
+        a = factory.generator("mobo").integers(0, 10**9, size=5)
+        b = factory.generator("mobo").integers(0, 10**9, size=5)
+        assert np.array_equal(a, b)
+
+    def test_named_streams_independent(self):
+        factory = SeedSequenceFactory(7)
+        a = factory.generator("mobo").integers(0, 10**9, size=5)
+        b = factory.generator("search").integers(0, 10**9, size=5)
+        assert not np.array_equal(a, b)
+
+    def test_index_distinguishes_streams(self):
+        factory = SeedSequenceFactory(7)
+        assert factory.spawn_seed("x", 0) != factory.spawn_seed("x", 1)
+
+    def test_adding_stream_does_not_shift_existing(self):
+        factory = SeedSequenceFactory(3)
+        before = factory.spawn_seed("stable")
+        factory.generator("newcomer")
+        assert factory.spawn_seed("stable") == before
+
+    def test_child_factory_differs_from_parent(self):
+        factory = SeedSequenceFactory(3)
+        child = factory.child("sub")
+        assert child.root_seed != factory.root_seed
+        assert child.spawn_seed("x") != factory.spawn_seed("x")
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            SeedSequenceFactory("seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+
+    def test_independent(self):
+        g1, g2 = spawn_generators(0, 2)
+        assert not np.array_equal(
+            g1.integers(0, 10**9, size=8), g2.integers(0, 10**9, size=8)
+        )
+
+    def test_deterministic_from_int_seed(self):
+        a = [g.integers(0, 10**9) for g in spawn_generators(5, 3)]
+        b = [g.integers(0, 10**9) for g in spawn_generators(5, 3)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
