@@ -9,6 +9,8 @@ Commands
 * ``fig`` — regenerate one of the paper's figures (7-11) as JSON.
 * ``serve`` — expose a PPA estimation engine as the Section 3.5 REST
   service (for master-slave deployments).
+* ``stats`` — query a running PPA service's ``GET /metrics`` endpoint and
+  summarize query counts, cache behaviour and request latency.
 """
 
 from __future__ import annotations
@@ -98,13 +100,16 @@ def _cmd_serve(args) -> int:
     from repro.costmodel.service import PPAServiceServer
 
     network = get_network(args.network)
+    capacity = args.cache_capacity if args.cache_capacity > 0 else None
     if args.engine == "maestro":
-        engine = MaestroEngine(network)
+        engine = MaestroEngine(network, cache_capacity=capacity)
     else:
         engine = AscendCAEngine(network, noise_fraction=0.08)
+        engine.cache_capacity = capacity
     server = PPAServiceServer(engine, host=args.host, port=args.port)
     server.start()
     print(f"PPA service ({args.engine}, workload {args.network}) at {server.url}")
+    print(f"metrics at {server.url}/metrics  (or: python -m repro stats {server.url})")
     print("Ctrl-C to stop.")
     try:
         import time
@@ -113,6 +118,54 @@ def _cmd_serve(args) -> int:
             time.sleep(1.0)
     except KeyboardInterrupt:
         server.stop()
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from urllib.request import urlopen
+
+    url = args.url.rstrip("/")
+    try:
+        with urlopen(f"{url}/metrics", timeout=args.timeout) as response:
+            payload = json.load(response)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot reach PPA service at {url}: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    engine = payload.get("engine", {})
+    print(f"PPA service at {url}")
+    print(f"  engine           {engine.get('engine', '?')}")
+    print(f"  workload         {engine.get('workload', '?')}")
+    print(f"  queries          {engine.get('num_queries', 0)}")
+    print(f"  cache hits       {engine.get('num_cache_hits', 0)}")
+    print(f"  cache hit rate   {engine.get('cache_hit_rate', 0.0):.1%}")
+    print(f"  cache evictions  {engine.get('num_cache_evictions', 0)}")
+    capacity = engine.get("cache_capacity")
+    print(
+        f"  cache size       {engine.get('cache_size', 0)}"
+        f" / {capacity if capacity is not None else 'unbounded'}"
+    )
+    if "num_retries" in engine:
+        print(f"  retries          {engine['num_retries']}")
+    metrics = payload.get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        print("counters:")
+        for name, value in counters.items():
+            print(f"  {name:<40s} {value:g}")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        print("latency histograms:")
+        for name, hist in histograms.items():
+            if not hist["count"]:
+                continue
+            print(
+                f"  {name:<40s} count={hist['count']}  "
+                f"mean={hist['mean'] * 1e3:.2f} ms  "
+                f"max={hist['max'] * 1e3:.2f} ms"
+            )
     return 0
 
 
@@ -218,7 +271,21 @@ def build_parser() -> argparse.ArgumentParser:
                               choices=("maestro", "ascend"))
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=0)
+    serve_parser.add_argument(
+        "--cache-capacity", type=int, default=100_000,
+        help="LRU bound on the engine result cache (0 = unbounded)",
+    )
     serve_parser.set_defaults(fn=_cmd_serve)
+
+    stats_parser = sub.add_parser(
+        "stats", help="summarize a running PPA service's /metrics"
+    )
+    stats_parser.add_argument("url", help="service base URL, e.g. http://host:port")
+    stats_parser.add_argument("--timeout", type=float, default=5.0)
+    stats_parser.add_argument(
+        "--json", action="store_true", help="print the raw /metrics JSON"
+    )
+    stats_parser.set_defaults(fn=_cmd_stats)
 
     return parser
 
@@ -227,7 +294,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped to head); suppress the shutdown flush
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -57,6 +57,40 @@ def make_search_tool(
     return SEARCH_TOOLS[tool](network, hw, engine, objective=objective, seed=seed)
 
 
+class _QueryCountingEngine:
+    """Per-trial view of a shared engine with race-free query accounting.
+
+    Several trials of one successive-halving round may run concurrently
+    (``JobRunner`` thread backend) against the *same* engine; deltas of the
+    engine-global ``num_queries`` would then interleave across trials and
+    corrupt the per-trial durations the simulated clock charges.  This
+    proxy counts the queries issued *through it* locally, delegating all
+    work (and caching, and clock charging) to the shared engine.
+    """
+
+    def __init__(self, engine: PPAEngine):
+        self._engine = engine
+        self.local_queries = 0
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def evaluate_layer(self, hw, mapping, layer_name):
+        self.local_queries += 1
+        return self._engine.evaluate_layer(hw, mapping, layer_name)
+
+    def evaluate_layers(self, hw, requests):
+        self.local_queries += len(requests)
+        return self._engine.evaluate_layers(hw, requests)
+
+    def evaluate_network(self, hw, mappings):
+        # mirrors PPAEngine.evaluate_network: one query per mapped layer
+        self.local_queries += sum(
+            1 for name in self._engine.layer_shapes if name in mappings
+        )
+        return self._engine.evaluate_network(hw, mappings)
+
+
 class SWSearchTrial:
     """A resumable SW-mapping-search job for one hardware configuration."""
 
@@ -71,15 +105,15 @@ class SWSearchTrial:
     ):
         self.hw = hw
         self.engine = engine
-        queries_before = engine.num_queries
-        self.search = make_search_tool(tool, network, hw, engine, objective, seed)
+        self._view = _QueryCountingEngine(engine)
+        self.search = make_search_tool(tool, network, hw, self._view, objective, seed)
         #: engine queries consumed (initialization included)
-        self.queries_spent = engine.num_queries - queries_before
+        self.queries_spent = self._view.local_queries
 
     def run(self, additional_budget: int) -> "SWSearchTrial":
-        queries_before = self.engine.num_queries
+        queries_before = self._view.local_queries
         self.search.run(additional_budget)
-        self.queries_spent += self.engine.num_queries - queries_before
+        self.queries_spent += self._view.local_queries - queries_before
         return self
 
     def best_curve(self) -> np.ndarray:

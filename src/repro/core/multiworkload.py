@@ -55,6 +55,9 @@ class MultiWorkloadEngine:
             engine.clock = self.clock  # one shared clock
         self.eval_cost_s = first.eval_cost_s
         self.tech = first.tech
+        self.metrics = first.metrics
+        for engine in self.engines.values():
+            engine.metrics = self.metrics  # one shared registry
         self.network = merge_networks(
             "+".join(sorted(self.engines)),
             [engine.network for engine in self.engines.values()],
@@ -63,6 +66,18 @@ class MultiWorkloadEngine:
     @property
     def num_queries(self) -> int:
         return sum(engine.num_queries for engine in self.engines.values())
+
+    def stats(self) -> Dict:
+        """Aggregate operational statistics across the per-workload engines."""
+        per_workload = {
+            name: engine.stats() for name, engine in sorted(self.engines.items())
+        }
+        return {
+            "engine": type(self).__name__,
+            "workload": self.network.name,
+            "num_queries": self.num_queries,
+            "workloads": per_workload,
+        }
 
     @property
     def charge_clock(self) -> bool:

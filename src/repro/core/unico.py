@@ -32,12 +32,21 @@ from repro.core.highfidelity import (
     ChampionSelector,
     HighFidelitySelector,
 )
+from repro.core.runner import JobRunner
 from repro.errors import ConfigurationError
 from repro.optim.mobo import MOBOSampler
 from repro.optim.pareto import ObjectiveNormalizer
 from repro.optim.sh import plan_rounds, relative_auc_score, select_survivors, terminal_value
 
 SURROGATE_UPDATES = ("high_fidelity", "champion")
+
+
+def _advance_trial(trial, additional: int) -> int:
+    """Run one trial for ``additional`` budget; returns fresh queries spent."""
+    before = trial.queries_spent
+    if additional > 0:
+        trial.run(additional)
+    return trial.queries_spent - before
 
 
 @dataclass
@@ -58,6 +67,13 @@ class UnicoConfig:
     robustness_alpha: float = 0.05
     pool_size: int = 256
     workers: int = 1
+    #: real-compute dispatch of each MSH round's trials.  ``serial`` is
+    #: exact and default; ``thread`` overlaps remote-engine (Fig. 6b)
+    #: round trips and produces identical results (per-trial query
+    #: accounting is race-free and the engines are deterministic).  The
+    #: ``process`` backend is rejected here: trials mutate shared search
+    #: state that would be lost in a child process.
+    runner_backend: str = "serial"
     mobo_overhead_s: float = 5.0
     time_budget_s: Optional[float] = None
     min_observations: int = 8
@@ -79,6 +95,12 @@ class UnicoConfig:
             )
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.runner_backend not in ("serial", "thread"):
+            raise ConfigurationError(
+                f"runner_backend must be 'serial' or 'thread' (got "
+                f"{self.runner_backend!r}); trials share in-process search "
+                f"state, so process dispatch would drop their results"
+            )
 
 
 @dataclass
@@ -132,6 +154,11 @@ class Unico(CoOptimizer):
                 num_objectives=self.num_objectives, rho=config.rho
             )
         self.normalizer = ObjectiveNormalizer(self.num_objectives)
+        self.runner = JobRunner(
+            backend=config.runner_backend,
+            max_workers=config.workers,
+            metrics=self.engine.metrics,
+        )
         self.train_configs: List = []
         self.train_objectives_raw: List[np.ndarray] = []
         self.iteration_records: List[IterationRecord] = []
@@ -146,7 +173,13 @@ class Unico(CoOptimizer):
         )
 
     def _run_msh(self, trials: List) -> None:
-        """Modified successive halving with parallel clock accounting."""
+        """Modified successive halving with parallel clock accounting.
+
+        The trials of one round are dispatched through :class:`JobRunner`
+        (``runner_backend``); per-trial query counts come back from the
+        jobs themselves, so the simulated-clock makespan accounting is
+        identical whichever backend ran the round.
+        """
         config = self.config
         plans = plan_rounds(
             len(trials), config.max_budget, config.eta, config.keep_fraction
@@ -155,16 +188,19 @@ class Unico(CoOptimizer):
         spent = {i: 0 for i in active}
         init_charged = {i: False for i in active}
         for plan_index, plan in enumerate(plans):
-            durations: List[float] = []
+            round_args = []
             for trial_id in active:
                 additional = plan.cumulative_budget - spent[trial_id]
-                queries_before = trials[trial_id].queries_spent
+                round_args.append((trials[trial_id], additional))
                 if additional > 0:
-                    trials[trial_id].run(additional)
                     spent[trial_id] = plan.cumulative_budget
-                duration_queries = trials[trial_id].queries_spent - queries_before
+            deltas = self.runner.starmap(_advance_trial, round_args)
+            durations: List[float] = []
+            for trial_id, delta in zip(active, deltas):
+                duration_queries = delta
                 if not init_charged[trial_id]:
-                    duration_queries += queries_before  # initialization evals
+                    # initialization evals = queries spent before this round
+                    duration_queries += trials[trial_id].queries_spent - delta
                     init_charged[trial_id] = True
                 durations.append(duration_queries * self.engine.eval_cost_s)
             self.clock.advance_parallel(durations, label="sw-search")

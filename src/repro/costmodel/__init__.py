@@ -11,6 +11,7 @@ Public surface:
 
 from repro.costmodel.engine import (
     ANALYTICAL_EVAL_COST_S,
+    DEFAULT_CACHE_CAPACITY,
     MaestroEngine,
     PPAEngine,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "TimeloopEngine",
     "analyze_gemm_loopnest",
     "ANALYTICAL_EVAL_COST_S",
+    "DEFAULT_CACHE_CAPACITY",
     "MaestroEngine",
     "PPAEngine",
     "LayerPPA",

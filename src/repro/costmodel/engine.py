@@ -9,7 +9,17 @@ power/performance/area.  This module provides that interface:
   layer query charges ~5 s of modeled wall-clock (see ANALYTICAL_EVAL_COST_S).
 * Caching is built in: identical (hw, layer, mapping) queries are computed
   once, while the simulated clock is still charged per call — mirroring a
-  real deployment where the estimator service is invoked each time.
+  real deployment where the estimator service is invoked each time.  The
+  cache is a bounded LRU (``cache_capacity``) so a multi-day search cannot
+  grow it without limit; evictions are counted.
+* Observability: every engine owns (or shares) a
+  :class:`~repro.utils.metrics.MetricsRegistry`; queries, cache
+  hits/misses/evictions, and real compute latency are recorded there and
+  surfaced by the REST service's ``GET /metrics`` endpoint.
+
+Engines are thread-safe for concurrent queries: the REST server handles
+requests from a thread pool and the ``thread`` job-runner backend drives
+several mapping searches against one shared engine.
 
 The cycle-accurate engine for the Ascend-like platform lives in
 :mod:`repro.camodel.engine` and implements the same contract.
@@ -17,8 +27,11 @@ The cycle-accurate engine for the Ascend-like platform lives in
 
 from __future__ import annotations
 
+import threading
+import time
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from repro.mapping.gemm_mapping import GemmMapping, NetworkMapping
@@ -31,9 +44,10 @@ from repro.costmodel.maestro import (
     spatial_area_mm2,
 )
 from repro.costmodel.technology import DEFAULT_TECHNOLOGY, Technology
-from repro.errors import EvaluationError
+from repro.errors import ConfigurationError, EvaluationError
 from repro.hw.spatial import SpatialHWConfig
 from repro.utils.clock import SimulatedClock
+from repro.utils.metrics import MetricsRegistry
 from repro.workloads.layers import GemmShape
 from repro.workloads.network import Network
 
@@ -43,6 +57,11 @@ from repro.workloads.network import Network
 #: concretization and tool overhead; 5 s/query puts the end-to-end search
 #: costs of every method in the range Tables 1-2 report (tens of hours).
 ANALYTICAL_EVAL_COST_S = 5.0
+
+#: Default bound on the (hw, layer, mapping) result cache.  Generous enough
+#: that no single co-search in the test/bench suites evicts, small enough
+#: that a long-running service cannot grow without limit.
+DEFAULT_CACHE_CAPACITY = 100_000
 
 
 class PPAEngine(ABC):
@@ -58,7 +77,13 @@ class PPAEngine(ABC):
         clock: Optional[SimulatedClock] = None,
         eval_cost_s: float = ANALYTICAL_EVAL_COST_S,
         tech: Technology = DEFAULT_TECHNOLOGY,
+        cache_capacity: Optional[int] = DEFAULT_CACHE_CAPACITY,
+        metrics: Optional[MetricsRegistry] = None,
     ):
+        if cache_capacity is not None and cache_capacity < 1:
+            raise ConfigurationError(
+                f"cache_capacity must be >= 1 or None, got {cache_capacity}"
+            )
         self.network = network
         self.clock = clock if clock is not None else SimulatedClock()
         self.eval_cost_s = eval_cost_s
@@ -66,9 +91,14 @@ class PPAEngine(ABC):
         self.layer_shapes: Dict[str, Tuple[GemmShape, int]] = {
             layer.name: (layer.to_gemm(), layer.count) for layer in network.layers
         }
-        self._cache: Dict[Tuple, LayerPPA] = {}
+        #: bounded LRU over (hw_key, layer, mapping_key); None = unbounded
+        self.cache_capacity = cache_capacity
+        self._cache: "OrderedDict[Tuple, LayerPPA]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.num_queries = 0
         self.num_cache_hits = 0
+        self.num_cache_evictions = 0
         #: when False, a co-optimizer owns wall-clock accounting (e.g. to
         #: model parallel workers) and the engine only counts queries.
         self.charge_clock = True
@@ -94,24 +124,85 @@ class PPAEngine(ABC):
         """Hashable identity of a hardware config (for the cache)."""
         return tuple(sorted(vars(hw).items()))
 
-    # -- service API ------------------------------------------------------------
-    def evaluate_layer(self, hw, mapping: "GemmMapping", layer_name: str) -> LayerPPA:
-        """Evaluate one layer; charges the clock, caches the computation."""
+    # -- cache / accounting helpers ---------------------------------------------
+    def _charge_query(self, layer_name: str) -> GemmShape:
+        """Validate the layer, count the query, charge the clock."""
         if layer_name not in self.layer_shapes:
             raise EvaluationError(
                 f"layer {layer_name!r} not in workload {self.network.name!r}"
             )
         shape, _count = self.layer_shapes[layer_name]
-        key = (self.hw_key(hw), layer_name, mapping.key())
-        self.num_queries += 1
+        with self._lock:
+            self.num_queries += 1
+        self.metrics.counter("engine_queries_total").inc()
         if self.charge_clock:
             self.clock.advance(self.eval_cost_s, label="ppa-eval")
-        if key in self._cache:
-            self.num_cache_hits += 1
-            return self._cache[key]
+        return shape
+
+    def _cache_lookup(self, key: Tuple, count: bool = True) -> Optional[LayerPPA]:
+        """LRU lookup; refreshes recency, optionally counts hit/miss stats."""
+        with self._lock:
+            result = self._cache.get(key)
+            if result is not None:
+                self._cache.move_to_end(key)
+                if count:
+                    self.num_cache_hits += 1
+            if count:
+                name = (
+                    "engine_cache_hits_total"
+                    if result is not None
+                    else "engine_cache_misses_total"
+                )
+                self.metrics.counter(name).inc()
+            return result
+
+    def _cache_store(self, key: Tuple, result: LayerPPA) -> None:
+        """Insert into the LRU, evicting oldest entries past capacity."""
+        with self._lock:
+            self._cache[key] = result
+            self._cache.move_to_end(key)
+            if self.cache_capacity is not None:
+                while len(self._cache) > self.cache_capacity:
+                    self._cache.popitem(last=False)
+                    self.num_cache_evictions += 1
+                    self.metrics.counter("engine_cache_evictions_total").inc()
+
+    def _timed_compute(
+        self, hw, mapping: "GemmMapping", layer_name: str, shape: GemmShape
+    ) -> LayerPPA:
+        """Run the uncached computation, recording real latency."""
+        start = time.perf_counter()
         result = self._compute_layer_by_name(hw, mapping, layer_name, shape)
-        self._cache[key] = result
+        self.metrics.histogram("engine_compute_seconds").observe(
+            time.perf_counter() - start
+        )
         return result
+
+    # -- service API ------------------------------------------------------------
+    def evaluate_layer(self, hw, mapping: "GemmMapping", layer_name: str) -> LayerPPA:
+        """Evaluate one layer; charges the clock, caches the computation."""
+        shape = self._charge_query(layer_name)
+        key = (self.hw_key(hw), layer_name, mapping.key())
+        cached = self._cache_lookup(key)
+        if cached is not None:
+            return cached
+        result = self._timed_compute(hw, mapping, layer_name, shape)
+        self._cache_store(key, result)
+        return result
+
+    def evaluate_layers(
+        self, hw, requests: Sequence[Tuple["GemmMapping", str]]
+    ) -> List[LayerPPA]:
+        """Evaluate a batch of ``(mapping, layer_name)`` queries in order.
+
+        Semantically identical to calling :meth:`evaluate_layer` per item
+        (each item counts one query and charges one evaluation); remote
+        engines override this to amortize HTTP round trips.
+        """
+        return [
+            self.evaluate_layer(hw, mapping, layer_name)
+            for mapping, layer_name in requests
+        ]
 
     def evaluate_network(self, hw, mappings: "NetworkMapping") -> NetworkPPA:
         """Evaluate a complete per-layer mapping (charges one eval per layer)."""
@@ -132,10 +223,11 @@ class PPAEngine(ABC):
             if mapping is None:
                 feasible = False
                 continue
-            result = self._cache.get((self.hw_key(hw), name, mapping.key()))
+            key = (self.hw_key(hw), name, mapping.key())
+            result = self._cache_lookup(key, count=False)
             if result is None:
-                result = self._compute_layer_by_name(hw, mapping, name, shape)
-                self._cache[(self.hw_key(hw), name, mapping.key())] = result
+                result = self._timed_compute(hw, mapping, name, shape)
+                self._cache_store(key, result)
             layer_results[name] = result
             if not result.feasible:
                 feasible = False
@@ -167,6 +259,19 @@ class PPAEngine(ABC):
             return 0.0
         return self.num_cache_hits / self.num_queries
 
+    def stats(self) -> Dict:
+        """Operational statistics for ``GET /metrics`` / ``repro stats``."""
+        return {
+            "engine": type(self).__name__,
+            "workload": self.network.name,
+            "num_queries": self.num_queries,
+            "num_cache_hits": self.num_cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "num_cache_evictions": self.num_cache_evictions,
+            "cache_size": len(self._cache),
+            "cache_capacity": self.cache_capacity,
+        }
+
 
 class MaestroEngine(PPAEngine):
     """Analytical engine for the open-source spatial accelerator."""
@@ -182,6 +287,7 @@ class MaestroEngine(PPAEngine):
 
 __all__ = [
     "ANALYTICAL_EVAL_COST_S",
+    "DEFAULT_CACHE_CAPACITY",
     "PPAEngine",
     "MaestroEngine",
     "LayerPPA",

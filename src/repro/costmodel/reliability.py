@@ -38,6 +38,8 @@ class RetryingEngine(PPAEngine):
             clock=inner.clock,
             eval_cost_s=inner.eval_cost_s,
             tech=inner.tech,
+            cache_capacity=inner.cache_capacity,
+            metrics=inner.metrics,
         )
         self.inner = inner
         self.max_attempts = max_attempts
@@ -53,6 +55,7 @@ class RetryingEngine(PPAEngine):
             except EvaluationError as error:
                 last_error = error
                 self.num_retries += 1
+                self.metrics.counter("engine_retries_total").inc()
                 if self.charge_clock:
                     # the failed attempt burned service time too
                     self.clock.advance(self.eval_cost_s, label="ppa-retry")
@@ -65,6 +68,12 @@ class RetryingEngine(PPAEngine):
 
     def area_mm2(self, hw) -> float:
         return self.inner.area_mm2(hw)
+
+    def stats(self) -> dict:
+        merged = super().stats()
+        merged["num_retries"] = self.num_retries
+        merged["inner"] = self.inner.stats()
+        return merged
 
 
 class FlakyEngine(PPAEngine):
@@ -85,6 +94,8 @@ class FlakyEngine(PPAEngine):
             clock=inner.clock,
             eval_cost_s=inner.eval_cost_s,
             tech=inner.tech,
+            cache_capacity=inner.cache_capacity,
+            metrics=inner.metrics,
         )
         self.inner = inner
         self.failure_rate = failure_rate
@@ -94,6 +105,7 @@ class FlakyEngine(PPAEngine):
     def _compute_layer_by_name(self, hw, mapping, layer_name, shape) -> LayerPPA:
         if self._rng.random() < self.failure_rate:
             self.num_injected_failures += 1
+            self.metrics.counter("engine_injected_failures_total").inc()
             raise EvaluationError("injected transient failure")
         return self.inner._compute_layer_by_name(hw, mapping, layer_name, shape)
 

@@ -6,21 +6,40 @@ inputs to estimate performance, power and area."
 
 * :class:`PPAServiceServer` wraps any :class:`PPAEngine` behind a small
   HTTP/JSON endpoint (stdlib ``http.server``; POST ``/evaluate_layer``,
-  POST ``/aggregate``, GET ``/health``).
+  POST ``/evaluate_layers`` (batched), POST ``/aggregate``,
+  GET ``/health``, GET ``/metrics``).
 * :class:`RemotePPAEngine` is a drop-in :class:`PPAEngine` client: search
   tools talk to it exactly as they talk to an in-process engine, so the
   master-slave deployment of Fig. 6(b) only changes the engine wiring.
 
+Fault tolerance: every network-level failure (connection refused, socket
+timeout, truncated/malformed responses, 5xx replies) surfaces as
+:class:`~repro.errors.EvaluationError`, so the client composes with
+:class:`~repro.costmodel.reliability.RetryingEngine`.  The client
+additionally retries transient transport failures itself with exponential
+backoff + jitter, and a small circuit breaker fails fast (for
+``breaker_cooldown_s`` of real time) once the service looks down, instead
+of burning a timeout per query.
+
 Payloads carry plain dicts of the hardware/mapping dataclass fields; the
-server reconstructs typed objects via the registered codecs.
+server reconstructs typed objects via the registered codecs.  Tuple-typed
+dataclass fields (e.g. ``GemmMapping.loop_order``) are restored from JSON
+lists by inspecting the dataclass annotations, so new config types
+round-trip without codec edits.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import socket
 import threading
+import time
+import typing
+from http.client import HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
 
 from repro.camodel.mapping import AscendMapping
@@ -30,6 +49,7 @@ from repro.errors import EvaluationError
 from repro.hw.ascend import AscendHWConfig
 from repro.hw.spatial import SpatialHWConfig
 from repro.mapping.gemm_mapping import GemmMapping
+from repro.utils.metrics import MetricsRegistry
 
 _HW_TYPES: Dict[str, type] = {
     "SpatialHWConfig": SpatialHWConfig,
@@ -40,12 +60,29 @@ _MAPPING_TYPES: Dict[str, type] = {
     "AscendMapping": AscendMapping,
 }
 
+_TUPLE_FIELDS_CACHE: Dict[type, FrozenSet[str]] = {}
+
+
+def _tuple_fields(cls: type) -> FrozenSet[str]:
+    """Names of ``cls`` fields annotated as tuples (JSON turns them into lists)."""
+    cached = _TUPLE_FIELDS_CACHE.get(cls)
+    if cached is None:
+        hints = typing.get_type_hints(cls)
+        cached = frozenset(
+            name
+            for name, hint in hints.items()
+            if hint is tuple or typing.get_origin(hint) is tuple
+        )
+        _TUPLE_FIELDS_CACHE[cls] = cached
+    return cached
+
 
 def encode_object(obj) -> Dict:
     """Serialize a hardware config or mapping as {type, fields}."""
     fields = dict(vars(obj))
-    if "loop_order" in fields:
-        fields["loop_order"] = list(fields["loop_order"])
+    for name in _tuple_fields(type(obj)):
+        if name in fields:
+            fields[name] = list(fields[name])
     return {"type": type(obj).__name__, "fields": fields}
 
 
@@ -59,8 +96,9 @@ def decode_object(payload: Dict):
         cls = _MAPPING_TYPES[type_name]
     else:
         raise EvaluationError(f"unknown payload type {type_name!r}")
-    if "loop_order" in fields:
-        fields["loop_order"] = tuple(fields["loop_order"])
+    for name in _tuple_fields(cls):
+        if name in fields and isinstance(fields[name], list):
+            fields[name] = tuple(fields[name])
     return cls(**fields)
 
 
@@ -78,24 +116,40 @@ def _layer_ppa_to_dict(result: LayerPPA) -> Dict:
 
 
 def _layer_ppa_from_dict(payload: Dict) -> LayerPPA:
-    feasible = payload["feasible"]
-    return LayerPPA(
-        latency_s=payload["latency_s"] if feasible else float("inf"),
-        energy_j=payload["energy_j"] if feasible else float("inf"),
-        feasible=feasible,
-        compute_cycles=payload.get("compute_cycles", 0.0),
-        noc_cycles=payload.get("noc_cycles", 0.0),
-        dram_cycles=payload.get("dram_cycles", 0.0),
-        dram_bytes=payload.get("dram_bytes", 0.0),
-        infeasible_reason=payload.get("infeasible_reason", ""),
-    )
+    try:
+        feasible = payload["feasible"]
+        return LayerPPA(
+            latency_s=payload["latency_s"] if feasible else float("inf"),
+            energy_j=payload["energy_j"] if feasible else float("inf"),
+            feasible=feasible,
+            compute_cycles=payload.get("compute_cycles", 0.0),
+            noc_cycles=payload.get("noc_cycles", 0.0),
+            dram_cycles=payload.get("dram_cycles", 0.0),
+            dram_bytes=payload.get("dram_bytes", 0.0),
+            infeasible_reason=payload.get("infeasible_reason", ""),
+        )
+    except (KeyError, TypeError) as error:
+        raise EvaluationError(f"malformed layer-PPA payload: {error}") from error
 
 
 class PPAServiceServer:
-    """Serve an engine over HTTP on localhost; use as a context manager."""
+    """Serve an engine over HTTP on localhost; use as a context manager.
 
-    def __init__(self, engine: PPAEngine, host: str = "127.0.0.1", port: int = 0):
+    Shares the engine's metrics registry by default, so ``GET /metrics``
+    exposes engine counters (queries, cache hits/evictions, compute
+    latency) alongside the per-endpoint request/error counters recorded
+    here.
+    """
+
+    def __init__(
+        self,
+        engine: PPAEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.engine = engine
+        self.metrics = metrics if metrics is not None else engine.metrics
         handler = self._make_handler()
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None
@@ -111,6 +165,7 @@ class PPAServiceServer:
 
     def _make_handler(self):
         engine = self.engine
+        metrics = self.metrics
 
         class Handler(BaseHTTPRequestHandler):
             def log_message(self, fmt, *args):  # silence request logging
@@ -123,6 +178,9 @@ class PPAServiceServer:
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
+                metrics.counter(f"service_requests_total[{self.path}]").inc()
+                if status >= 400:
+                    metrics.counter("service_errors_total").inc()
 
             def do_GET(self):
                 if self.path == "/health":
@@ -134,10 +192,35 @@ class PPAServiceServer:
                             "queries": engine.num_queries,
                         },
                     )
+                elif self.path == "/metrics":
+                    self._reply(
+                        200,
+                        {"engine": engine.stats(), "metrics": metrics.snapshot()},
+                    )
                 else:
                     self._reply(404, {"error": f"unknown path {self.path}"})
 
+            def _evaluate_layers(self, request: Dict) -> None:
+                hw = decode_object(request["hw"])
+                items = request["items"]
+                if not isinstance(items, list):
+                    raise EvaluationError("'items' must be a list")
+                results: List[Dict] = []
+                for item in items:
+                    # one bad item must not poison the rest of the batch
+                    try:
+                        result = engine.evaluate_layer(
+                            hw, decode_object(item["mapping"]), item["layer"]
+                        )
+                        results.append(
+                            {"ok": True, "result": _layer_ppa_to_dict(result)}
+                        )
+                    except (EvaluationError, KeyError, TypeError) as exc:
+                        results.append({"ok": False, "error": str(exc)})
+                self._reply(200, {"results": results})
+
             def do_POST(self):
+                start = time.perf_counter()
                 length = int(self.headers.get("Content-Length", 0))
                 try:
                     request = json.loads(self.rfile.read(length))
@@ -152,6 +235,8 @@ class PPAServiceServer:
                             request["layer"],
                         )
                         self._reply(200, _layer_ppa_to_dict(result))
+                    elif self.path == "/evaluate_layers":
+                        self._evaluate_layers(request)
                     elif self.path == "/aggregate":
                         hw = decode_object(request["hw"])
                         mappings = {
@@ -173,6 +258,14 @@ class PPAServiceServer:
                         self._reply(404, {"error": f"unknown path {self.path}"})
                 except (EvaluationError, KeyError) as exc:
                     self._reply(400, {"error": str(exc)})
+                except Exception as exc:  # malformed payloads must still get JSON
+                    self._reply(
+                        500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+                    )
+                finally:
+                    metrics.histogram("service_request_seconds").observe(
+                        time.perf_counter() - start
+                    )
 
         return Handler
 
@@ -197,12 +290,38 @@ class PPAServiceServer:
         self.stop()
 
 
+#: transport-level exceptions that indicate "try again", not "bad query"
+_TRANSIENT_ERRORS = (URLError, HTTPException, socket.timeout, OSError,
+                     json.JSONDecodeError)
+
+
 class RemotePPAEngine(PPAEngine):
     """A :class:`PPAEngine` that forwards queries to a PPA service.
 
     Keeps the local cache and clock semantics of the base class; only the
     uncached computation goes over the wire.  ``area_mm2`` is computed by a
     locally supplied function (areas depend only on the hardware config).
+
+    Transport hardening (all real-time, invisible to the simulated clock):
+
+    * every network-level failure raises :class:`EvaluationError`, so
+      :class:`~repro.costmodel.reliability.RetryingEngine` wrappers see it;
+    * transient transport failures are retried up to
+      ``max_network_retries`` times with exponential backoff
+      (``backoff_base_s * 2**attempt``, capped at ``backoff_max_s``) plus
+      seeded jitter;
+    * after ``breaker_threshold`` consecutive request failures the circuit
+      opens: queries fail fast for ``breaker_cooldown_s`` seconds, then a
+      single probe is allowed through (half-open).
+
+    4xx replies are semantic rejections (bad layer, malformed mapping):
+    they raise immediately without transport retries and do not trip the
+    breaker — the service is alive and answering.
+
+    Batching: :meth:`evaluate_layers` groups cache misses into
+    ``POST /evaluate_layers`` chunks of ``batch_size`` to amortize HTTP
+    round trips; per-query accounting (clock, counters, cache) is
+    identical to the one-by-one path.
     """
 
     def __init__(
@@ -211,23 +330,134 @@ class RemotePPAEngine(PPAEngine):
         base_url: str,
         area_fn: Callable[[object], float],
         timeout_s: float = 10.0,
+        max_network_retries: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        jitter_fraction: float = 0.25,
+        jitter_seed: int = 0,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 30.0,
+        batch_size: int = 16,
         **kwargs,
     ):
         super().__init__(network, **kwargs)
+        if max_network_retries < 0:
+            raise EvaluationError(
+                f"max_network_retries must be >= 0, got {max_network_retries}"
+            )
+        if breaker_threshold < 1:
+            raise EvaluationError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        if batch_size < 1:
+            raise EvaluationError(f"batch_size must be >= 1, got {batch_size}")
         self.base_url = base_url.rstrip("/")
         self.area_fn = area_fn
         self.timeout_s = timeout_s
+        self.max_network_retries = max_network_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.jitter_fraction = jitter_fraction
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.batch_size = batch_size
+        self._jitter_rng = random.Random(jitter_seed)
+        self.num_network_retries = 0
+        self.num_circuit_rejections = 0
+        self._breaker_failures = 0
+        self._breaker_open_until = 0.0  # time.monotonic() deadline
 
-    def _post(self, path: str, payload: Dict) -> Dict:
-        request = Request(
-            f"{self.base_url}{path}",
-            data=json.dumps(payload).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
-            method="POST",
+    # -- transport --------------------------------------------------------------
+    def _backoff_delay(self, attempt: int) -> float:
+        base = min(self.backoff_base_s * (2 ** (attempt - 1)), self.backoff_max_s)
+        with self._lock:
+            jitter = self._jitter_rng.random()
+        return base * (1.0 + self.jitter_fraction * jitter)
+
+    def _breaker_check(self) -> None:
+        with self._lock:
+            if self._breaker_failures < self.breaker_threshold:
+                return
+            remaining = self._breaker_open_until - time.monotonic()
+            if remaining > 0:
+                self.num_circuit_rejections += 1
+                self.metrics.counter("remote_circuit_rejections_total").inc()
+                raise EvaluationError(
+                    f"circuit breaker open ({remaining:.2f}s left) after "
+                    f"{self._breaker_failures} consecutive failures to "
+                    f"{self.base_url}"
+                )
+            # half-open: let one probe through; a failure re-opens at once
+            self._breaker_failures = self.breaker_threshold - 1
+
+    def _breaker_record(self, success: bool) -> None:
+        with self._lock:
+            if success:
+                self._breaker_failures = 0
+                return
+            self._breaker_failures += 1
+            if self._breaker_failures >= self.breaker_threshold:
+                self._breaker_open_until = (
+                    time.monotonic() + self.breaker_cooldown_s
+                )
+                self.metrics.counter("remote_circuit_opened_total").inc()
+
+    def _http_error_detail(self, error: HTTPError) -> str:
+        try:
+            payload = json.loads(error.read())
+            return str(payload.get("error", payload))
+        except Exception:
+            return str(error)
+
+    def _request_json(self, path: str, payload: Optional[Dict] = None) -> Dict:
+        """One logical request: breaker gate, transport retries, JSON reply."""
+        self._breaker_check()
+        data = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
         )
-        with urlopen(request, timeout=self.timeout_s) as response:
-            return json.loads(response.read())
+        self.metrics.counter("remote_requests_total").inc()
+        last_error: Optional[EvaluationError] = None
+        for attempt in range(self.max_network_retries + 1):
+            if attempt:
+                self.num_network_retries += 1
+                self.metrics.counter("remote_network_retries_total").inc()
+                time.sleep(self._backoff_delay(attempt))
+            try:
+                request = Request(
+                    f"{self.base_url}{path}",
+                    data=data,
+                    headers={"Content-Type": "application/json"},
+                    method="POST" if data is not None else "GET",
+                )
+                start = time.perf_counter()
+                with urlopen(request, timeout=self.timeout_s) as response:
+                    body = response.read()
+                self.metrics.histogram("remote_request_seconds").observe(
+                    time.perf_counter() - start
+                )
+                reply = json.loads(body)
+                self._breaker_record(success=True)
+                return reply
+            except HTTPError as error:
+                detail = self._http_error_detail(error)
+                if error.code < 500:
+                    # semantic rejection: the service is up and answered
+                    self._breaker_record(success=True)
+                    raise EvaluationError(
+                        f"service rejected {path} ({error.code}): {detail}"
+                    ) from error
+                last_error = EvaluationError(
+                    f"service error {error.code} on {path}: {detail}"
+                )
+            except _TRANSIENT_ERRORS as error:
+                last_error = EvaluationError(
+                    f"network failure on {path}: {type(error).__name__}: {error}"
+                )
+        self._breaker_record(success=False)
+        assert last_error is not None
+        raise last_error
 
+    # -- engine contract --------------------------------------------------------
     def _compute_layer(self, hw, mapping, shape) -> LayerPPA:
         raise NotImplementedError(
             "RemotePPAEngine dispatches by layer name; "
@@ -240,11 +470,76 @@ class RemotePPAEngine(PPAEngine):
             "mapping": encode_object(mapping),
             "layer": layer_name,
         }
-        return _layer_ppa_from_dict(self._post("/evaluate_layer", payload))
+        return _layer_ppa_from_dict(self._request_json("/evaluate_layer", payload))
+
+    def evaluate_layers(
+        self, hw, requests: Sequence[Tuple["GemmMapping", str]]
+    ) -> List[LayerPPA]:
+        """Batched evaluation: cache misses travel in chunked POSTs."""
+        results: List[Optional[LayerPPA]] = [None] * len(requests)
+        misses: List[Tuple[int, Tuple, "GemmMapping", str]] = []
+        hw_id = self.hw_key(hw)
+        for index, (mapping, layer_name) in enumerate(requests):
+            self._charge_query(layer_name)
+            key = (hw_id, layer_name, mapping.key())
+            cached = self._cache_lookup(key)
+            if cached is not None:
+                results[index] = cached
+            else:
+                misses.append((index, key, mapping, layer_name))
+        for chunk_start in range(0, len(misses), self.batch_size):
+            chunk = misses[chunk_start : chunk_start + self.batch_size]
+            payload = {
+                "hw": encode_object(hw),
+                "items": [
+                    {"mapping": encode_object(mapping), "layer": layer_name}
+                    for _index, _key, mapping, layer_name in chunk
+                ],
+            }
+            start = time.perf_counter()
+            reply = self._request_json("/evaluate_layers", payload)
+            self.metrics.histogram("engine_compute_seconds").observe(
+                time.perf_counter() - start
+            )
+            entries = reply.get("results")
+            if not isinstance(entries, list) or len(entries) != len(chunk):
+                raise EvaluationError(
+                    f"batched reply shape mismatch: sent {len(chunk)} items, "
+                    f"got {entries!r}"
+                )
+            failures: List[str] = []
+            for (index, key, _mapping, layer_name), entry in zip(chunk, entries):
+                if entry.get("ok"):
+                    result = _layer_ppa_from_dict(entry["result"])
+                    self._cache_store(key, result)
+                    results[index] = result
+                else:
+                    failures.append(f"{layer_name}: {entry.get('error')}")
+            if failures:
+                raise EvaluationError(
+                    f"batched evaluation failed for {len(failures)} item(s): "
+                    + "; ".join(failures)
+                )
+        return results  # type: ignore[return-value]  # all slots filled above
 
     def area_mm2(self, hw) -> float:
         return self.area_fn(hw)
 
     def health(self) -> Dict:
-        with urlopen(f"{self.base_url}/health", timeout=self.timeout_s) as response:
-            return json.loads(response.read())
+        """Service liveness probe; network failures raise EvaluationError."""
+        return self._request_json("/health")
+
+    def service_metrics(self) -> Dict:
+        """Fetch the remote ``GET /metrics`` snapshot."""
+        return self._request_json("/metrics")
+
+    def stats(self) -> Dict:
+        merged = super().stats()
+        merged.update(
+            {
+                "base_url": self.base_url,
+                "num_network_retries": self.num_network_retries,
+                "num_circuit_rejections": self.num_circuit_rejections,
+            }
+        )
+        return merged

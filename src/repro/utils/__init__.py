@@ -12,9 +12,13 @@ can build on a common, well-tested foundation:
 * :mod:`repro.utils.clock` — the simulated wall clock that charges a modeled
   cost per PPA evaluation; search-cost curves are measured against it.
 * :mod:`repro.utils.records` — lightweight JSON-serializable run records.
+* :mod:`repro.utils.metrics` — thread-safe counters and real-time latency
+  histograms threaded through the estimation-service path (engines, the
+  REST server, the job runner) and surfaced via ``GET /metrics``.
 """
 
 from repro.utils.clock import SimulatedClock
+from repro.utils.metrics import Counter, Histogram, MetricsRegistry
 from repro.utils.intmath import (
     divisors,
     nearest_divisor,
@@ -26,6 +30,9 @@ from repro.utils.rng import SeedSequenceFactory, as_generator
 
 __all__ = [
     "SimulatedClock",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
     "divisors",
     "nearest_divisor",
     "power_two_three_grid",

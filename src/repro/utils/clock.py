@@ -17,6 +17,7 @@ processing-time-first schedule, mirroring the paper's master-slave execution.
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
@@ -46,6 +47,10 @@ class SimulatedClock:
     _now_s: float = 0.0
     _events: List[ClockEvent] = field(default_factory=list)
     _totals: Dict[str, float] = field(default_factory=dict)
+    # charged from service-handler threads and thread-backend jobs
+    _lock: threading.RLock = field(
+        init=False, repr=False, compare=False, default_factory=threading.RLock
+    )
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -69,10 +74,11 @@ class SimulatedClock:
         """Charge one serial event and return the new time."""
         if duration_s < 0:
             raise ValueError(f"duration must be non-negative, got {duration_s}")
-        self._now_s += duration_s
-        self._events.append(ClockEvent(label, duration_s, self._now_s))
-        self._totals[label] = self._totals.get(label, 0.0) + duration_s
-        return self._now_s
+        with self._lock:
+            self._now_s += duration_s
+            self._events.append(ClockEvent(label, duration_s, self._now_s))
+            self._totals[label] = self._totals.get(label, 0.0) + duration_s
+            return self._now_s
 
     def advance_parallel(
         self, durations_s: Sequence[float], label: str = "batch"
@@ -103,6 +109,7 @@ class SimulatedClock:
 
     def reset(self) -> None:
         """Zero the clock and clear the event log."""
-        self._now_s = 0.0
-        self._events.clear()
-        self._totals.clear()
+        with self._lock:
+            self._now_s = 0.0
+            self._events.clear()
+            self._totals.clear()

@@ -1,5 +1,7 @@
 """Tests for the job-runner backends."""
 
+import functools
+import os
 import threading
 import time
 
@@ -7,6 +9,22 @@ import pytest
 
 from repro.core.runner import BACKENDS, JobRunner
 from repro.errors import ConfigurationError
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_square(x):
+    return os.getpid(), x * x
+
+
+def _add(a, b):
+    return a + b
+
+
+def _explode():
+    raise RuntimeError("job failed in child")
 
 
 class TestJobRunner:
@@ -48,3 +66,49 @@ class TestJobRunner:
     def test_invalid_workers(self):
         with pytest.raises(ConfigurationError):
             JobRunner(max_workers=0)
+
+    def test_batch_accounting(self):
+        runner = JobRunner()
+        runner.map([lambda: 1, lambda: 2])
+        runner.map([lambda: 3])
+        assert runner.num_batches == 2
+        assert runner.num_jobs == 3
+        assert runner.metrics.counter_value("runner_batches_total") == 2
+        assert runner.metrics.counter_value("runner_jobs_total") == 3
+
+
+class TestProcessBackend:
+    def test_picklable_jobs_ordered(self):
+        runner = JobRunner(backend="process", max_workers=4)
+        jobs = [functools.partial(_square, i) for i in range(10)]
+        assert runner.map(jobs) == [i * i for i in range(10)]
+        assert runner.num_pickle_fallbacks == 0
+
+    def test_runs_in_child_processes(self):
+        runner = JobRunner(backend="process", max_workers=2)
+        jobs = [functools.partial(_pid_square, i) for i in range(4)]
+        results = runner.map(jobs)
+        assert [value for _pid, value in results] == [0, 1, 4, 9]
+        assert any(pid != os.getpid() for pid, _value in results)
+
+    def test_starmap_dispatches_to_processes(self):
+        runner = JobRunner(backend="process", max_workers=2)
+        assert runner.starmap(_add, [(1, 2), (3, 4), (5, 6)]) == [3, 7, 11]
+
+    def test_single_job_runs_inline(self):
+        runner = JobRunner(backend="process", max_workers=2)
+        results = runner.map([functools.partial(_pid_square, 3)])
+        assert results == [(os.getpid(), 9)]  # len==1 short-circuits
+
+    def test_unpicklable_jobs_fall_back_to_threads(self):
+        runner = JobRunner(backend="process", max_workers=2)
+        jobs = [lambda i=i: i + 1 for i in range(4)]  # closures do not pickle
+        assert runner.map(jobs) == [1, 2, 3, 4]
+        assert runner.num_pickle_fallbacks == 1
+        assert runner.metrics.counter_value("runner_pickle_fallbacks_total") == 1
+
+    def test_child_exception_propagates(self):
+        runner = JobRunner(backend="process", max_workers=2)
+        jobs = [functools.partial(_square, 1), functools.partial(_explode)]
+        with pytest.raises(RuntimeError, match="job failed in child"):
+            runner.map(jobs)

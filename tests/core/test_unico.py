@@ -129,6 +129,27 @@ class TestOptimize:
         assert max(budgets) == 24  # b_max
         assert min(budgets) < max(budgets)  # losers stopped early
 
+    def test_thread_backend_matches_serial(self, tiny_network, edge_space):
+        """Round dispatch through threads must not change any result."""
+        serial = _make_unico(tiny_network, edge_space).optimize()
+        threaded = _make_unico(
+            tiny_network, edge_space, runner_backend="thread", workers=4
+        ).optimize()
+        assert threaded.total_hw_evaluated == serial.total_hw_evaluated
+        assert (
+            threaded.best_design().ppa.latency_s
+            == serial.best_design().ppa.latency_s
+        )
+        assert np.array_equal(
+            np.sort(threaded.pareto.points, axis=0),
+            np.sort(serial.pareto.points, axis=0),
+        )
+
+    def test_process_backend_rejected(self):
+        """Trials mutate shared search state; child processes would drop it."""
+        with pytest.raises(ConfigurationError, match="runner_backend"):
+            UnicoConfig(runner_backend="process")
+
     def test_infeasible_hardware_handled(self, tiny_network, edge_space):
         """A power cap nothing satisfies must not crash the loop."""
         engine = MaestroEngine(tiny_network)

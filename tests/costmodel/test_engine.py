@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.costmodel import MaestroEngine
-from repro.errors import EvaluationError
+from repro.costmodel import DEFAULT_CACHE_CAPACITY, MaestroEngine
+from repro.errors import ConfigurationError, EvaluationError
 from repro.mapping import GemmMapping
 
 
@@ -85,3 +85,74 @@ class TestAggregate:
         ppa = engine.aggregate(sample_hw, {"gemm": MAPPING})
         assert not ppa.feasible
         assert np.isinf(ppa.latency_s)
+
+
+MAPPINGS = [GemmMapping(4, 8, 4, unroll=u) for u in (1, 2, 4, 8)]
+
+
+class TestCacheBounds:
+    def test_default_capacity(self, tiny_network):
+        engine = MaestroEngine(tiny_network)
+        assert engine.cache_capacity == DEFAULT_CACHE_CAPACITY
+
+    def test_eviction_when_full(self, tiny_network, sample_hw):
+        engine = MaestroEngine(tiny_network, cache_capacity=2)
+        for mapping in MAPPINGS[:3]:
+            engine.evaluate_layer(sample_hw, mapping, "gemm")
+        assert len(engine._cache) == 2
+        assert engine.num_cache_evictions == 1
+        # the oldest entry (MAPPINGS[0]) was evicted: re-query misses
+        engine.evaluate_layer(sample_hw, MAPPINGS[0], "gemm")
+        assert engine.num_cache_hits == 0
+        assert engine.num_cache_evictions == 2
+
+    def test_lru_order_respects_recent_use(self, tiny_network, sample_hw):
+        engine = MaestroEngine(tiny_network, cache_capacity=2)
+        engine.evaluate_layer(sample_hw, MAPPINGS[0], "gemm")
+        engine.evaluate_layer(sample_hw, MAPPINGS[1], "gemm")
+        engine.evaluate_layer(sample_hw, MAPPINGS[0], "gemm")  # refresh [0]
+        engine.evaluate_layer(sample_hw, MAPPINGS[2], "gemm")  # evicts [1]
+        engine.evaluate_layer(sample_hw, MAPPINGS[0], "gemm")
+        assert engine.num_cache_hits == 2  # the refresh and the last call
+
+    def test_unbounded_cache(self, tiny_network, sample_hw):
+        engine = MaestroEngine(tiny_network, cache_capacity=None)
+        for mapping in MAPPINGS:
+            engine.evaluate_layer(sample_hw, mapping, "gemm")
+        assert engine.num_cache_evictions == 0
+        assert len(engine._cache) == len(MAPPINGS)
+
+    def test_invalid_capacity(self, tiny_network):
+        with pytest.raises(ConfigurationError):
+            MaestroEngine(tiny_network, cache_capacity=0)
+
+    def test_stats_surface(self, tiny_network, sample_hw):
+        engine = MaestroEngine(tiny_network, cache_capacity=8)
+        engine.evaluate_layer(sample_hw, MAPPINGS[0], "gemm")
+        engine.evaluate_layer(sample_hw, MAPPINGS[0], "gemm")
+        stats = engine.stats()
+        assert stats["engine"] == "MaestroEngine"
+        assert stats["workload"] == tiny_network.name
+        assert stats["num_queries"] == 2
+        assert stats["num_cache_hits"] == 1
+        assert stats["cache_hit_rate"] == 0.5
+        assert stats["num_cache_evictions"] == 0
+        assert stats["cache_size"] == 1
+        assert stats["cache_capacity"] == 8
+
+    def test_metrics_counters_track_queries(self, tiny_network, sample_hw):
+        engine = MaestroEngine(tiny_network)
+        engine.evaluate_layer(sample_hw, MAPPINGS[0], "gemm")
+        engine.evaluate_layer(sample_hw, MAPPINGS[0], "gemm")
+        assert engine.metrics.counter_value("engine_queries_total") == 2
+        assert engine.metrics.counter_value("engine_cache_hits_total") == 1
+        assert engine.metrics.counter_value("engine_cache_misses_total") == 1
+
+    def test_batched_evaluate_layers_matches_singles(self, tiny_network, sample_hw):
+        single = MaestroEngine(tiny_network)
+        batched = MaestroEngine(tiny_network)
+        requests = [(mapping, "gemm") for mapping in MAPPINGS]
+        singles = [single.evaluate_layer(sample_hw, m, name) for m, name in requests]
+        batch = batched.evaluate_layers(sample_hw, requests)
+        assert [r.latency_s for r in batch] == [r.latency_s for r in singles]
+        assert batched.num_queries == single.num_queries

@@ -108,3 +108,71 @@ class TestRetryingEngine:
     def test_invalid_attempts(self, tiny_network):
         with pytest.raises(EvaluationError):
             RetryingEngine(MaestroEngine(tiny_network), max_attempts=0)
+
+
+class TestRetryingOverRemote:
+    """RetryingEngine composed over RemotePPAEngine over a flaky service.
+
+    The full Fig. 6(b) failure path: the server-side engine injects
+    transient failures, the service surfaces them as HTTP 400s, the remote
+    client maps those to EvaluationError, and the retry wrapper recovers.
+    """
+
+    @pytest.fixture()
+    def stack(self, tiny_network):
+        from repro.costmodel.maestro import spatial_area_mm2
+        from repro.costmodel.service import PPAServiceServer, RemotePPAEngine
+
+        backend = FlakyEngine(
+            MaestroEngine(tiny_network), failure_rate=0.3, seed=7
+        )
+        with PPAServiceServer(backend) as server:
+            remote = RemotePPAEngine(
+                tiny_network, server.url, area_fn=spatial_area_mm2
+            )
+            robust = RetryingEngine(remote, max_attempts=10)
+            yield backend, remote, robust
+
+    def test_recovers_and_matches_clean_engine(self, stack, tiny_network, sample_hw):
+        _backend, _remote, robust = stack
+        clean = MaestroEngine(tiny_network)
+        result = robust.evaluate_layer(sample_hw, MAPPING, "gemm")
+        expected = clean.evaluate_layer(sample_hw, MAPPING, "gemm")
+        assert result.feasible
+        assert result.latency_s == expected.latency_s
+        assert result.energy_j == expected.energy_j
+
+    def test_clock_charged_once_per_query_plus_failed_attempts(
+        self, stack, sample_hw, tiny_network
+    ):
+        _backend, _remote, robust = stack
+        from repro.mapping import GemmMappingSpace
+
+        space = GemmMappingSpace(tiny_network.layers[1].to_gemm())
+        rng = np.random.default_rng(3)
+        queries = 25
+        for _ in range(queries):
+            robust.evaluate_layer(sample_hw, space.sample(rng), "gemm")
+        assert robust.num_retries > 0  # flakiness actually exercised
+        expected = (queries + robust.num_retries) * robust.eval_cost_s
+        assert robust.clock.now_s == pytest.approx(expected)
+
+    def test_cached_repeat_needs_no_retry_or_request(self, stack, sample_hw):
+        backend, remote, robust = stack
+        robust.evaluate_layer(sample_hw, MAPPING, "gemm")
+        retries_before = robust.num_retries
+        backend_queries = backend.num_queries
+        robust.evaluate_layer(sample_hw, MAPPING, "gemm")
+        assert robust.num_cache_hits == 1
+        assert robust.num_retries == retries_before
+        assert backend.num_queries == backend_queries  # never left the process
+
+    def test_stats_compose_across_the_stack(self, stack, sample_hw):
+        _backend, remote, robust = stack
+        robust.evaluate_layer(sample_hw, MAPPING, "gemm")
+        stats = robust.stats()
+        assert stats["engine"] == "RetryingEngine"
+        assert stats["num_queries"] == 1
+        assert "num_retries" in stats
+        assert stats["inner"]["engine"] == "RemotePPAEngine"
+        assert stats["inner"]["base_url"] == remote.base_url

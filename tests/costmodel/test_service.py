@@ -1,6 +1,11 @@
 """Tests for the REST PPA service and its remote-engine client."""
 
+import contextlib
 import json
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.request import Request, urlopen
 
 import numpy as np
@@ -150,3 +155,400 @@ class TestRemoteEngine:
 
     def test_health_passthrough(self, remote):
         assert remote.health()["status"] == "ok"
+
+
+# --------------------------------------------------------------------- helpers
+def _fast_remote(network, url, **overrides):
+    """A client with real-time knobs tuned so failure tests stay fast."""
+    kwargs = dict(
+        timeout_s=0.5,
+        max_network_retries=0,
+        backoff_base_s=0.001,
+        backoff_max_s=0.002,
+    )
+    kwargs.update(overrides)
+    return RemotePPAEngine(network, url, area_fn=spatial_area_mm2, **kwargs)
+
+
+@contextlib.contextmanager
+def _dead_url():
+    """A URL nothing listens on (bind, grab the port, close)."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    yield f"http://127.0.0.1:{port}"
+
+
+@contextlib.contextmanager
+def _silent_url():
+    """A socket that accepts connections but never answers (client times out)."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(4)
+    try:
+        yield f"http://127.0.0.1:{sock.getsockname()[1]}"
+    finally:
+        sock.close()
+
+
+@contextlib.contextmanager
+def _scripted_url(script):
+    """Serve canned responses in order; after the script, repeat the last.
+
+    Entries: ``("status", body_str)`` — e.g. ``(500, '{"error": "down"}')``
+    or ``(200, "definitely not json")``.
+    """
+    remaining = list(script)
+    lock = threading.Lock()
+    hits = {"count": 0}
+
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, fmt, *args):
+            pass
+
+        def _serve(self):
+            with lock:
+                hits["count"] += 1
+                status, body = remaining.pop(0) if len(remaining) > 1 else remaining[0]
+            payload = body.encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        do_GET = _serve
+        do_POST = _serve
+
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{httpd.server_address[1]}", hits
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+
+
+MAPPING = GemmMapping(4, 8, 4)
+
+
+class TestTransportErrorMapping:
+    """Satellite (a): network-level failures surface as EvaluationError."""
+
+    def test_dead_server_raises_evaluation_error(self, tiny_network, sample_hw):
+        with _dead_url() as url:
+            remote = _fast_remote(tiny_network, url)
+            with pytest.raises(EvaluationError, match="network failure"):
+                remote.evaluate_layer(sample_hw, MAPPING, "gemm")
+
+    def test_dead_server_health_raises_evaluation_error(self, tiny_network):
+        with _dead_url() as url:
+            remote = _fast_remote(tiny_network, url)
+            with pytest.raises(EvaluationError):
+                remote.health()
+
+    def test_slow_server_times_out_as_evaluation_error(self, tiny_network, sample_hw):
+        with _silent_url() as url:
+            remote = _fast_remote(tiny_network, url, timeout_s=0.2)
+            with pytest.raises(EvaluationError, match="network failure"):
+                remote.evaluate_layer(sample_hw, MAPPING, "gemm")
+
+    def test_malformed_json_reply_raises_evaluation_error(
+        self, tiny_network, sample_hw
+    ):
+        with _scripted_url([(200, "definitely not json")]) as (url, _hits):
+            remote = _fast_remote(tiny_network, url)
+            with pytest.raises(EvaluationError, match="network failure"):
+                remote.evaluate_layer(sample_hw, MAPPING, "gemm")
+
+    def test_5xx_reply_raises_evaluation_error(self, tiny_network, sample_hw):
+        with _scripted_url([(500, '{"error": "exploded"}')]) as (url, _hits):
+            remote = _fast_remote(tiny_network, url)
+            with pytest.raises(EvaluationError, match="service error 500"):
+                remote.evaluate_layer(sample_hw, MAPPING, "gemm")
+
+
+class TestNetworkRetries:
+    def test_recovers_after_transient_500(self, tiny_network):
+        ok = json.dumps({"status": "ok", "workload": tiny_network.name})
+        script = [(500, '{"error": "warming up"}'), (500, '{"error": "still"}'),
+                  (200, ok)]
+        with _scripted_url(script) as (url, hits):
+            remote = _fast_remote(tiny_network, url, max_network_retries=3)
+            assert remote.health()["status"] == "ok"
+            assert remote.num_network_retries == 2
+            assert hits["count"] == 3
+
+    def test_retries_exhausted_raises(self, tiny_network):
+        with _scripted_url([(500, '{"error": "down"}')]) as (url, hits):
+            remote = _fast_remote(tiny_network, url, max_network_retries=2)
+            with pytest.raises(EvaluationError):
+                remote.health()
+            assert hits["count"] == 3  # initial try + 2 retries
+
+    def test_4xx_is_not_retried(self, tiny_network, sample_hw):
+        with _scripted_url([(400, '{"error": "bad layer"}')]) as (url, hits):
+            remote = _fast_remote(tiny_network, url, max_network_retries=3)
+            with pytest.raises(EvaluationError, match="rejected"):
+                remote.evaluate_layer(sample_hw, MAPPING, "gemm")
+            assert hits["count"] == 1
+            assert remote.num_network_retries == 0
+
+    def test_backoff_grows_and_caps(self, tiny_network):
+        remote = _fast_remote(
+            tiny_network,
+            "http://127.0.0.1:1",
+            backoff_base_s=0.1,
+            backoff_max_s=0.25,
+            jitter_fraction=0.0,
+        )
+        assert remote._backoff_delay(1) == pytest.approx(0.1)
+        assert remote._backoff_delay(2) == pytest.approx(0.2)
+        assert remote._backoff_delay(3) == pytest.approx(0.25)  # capped
+        assert remote._backoff_delay(9) == pytest.approx(0.25)
+
+    def test_jitter_stays_within_fraction(self, tiny_network):
+        remote = _fast_remote(
+            tiny_network,
+            "http://127.0.0.1:1",
+            backoff_base_s=0.1,
+            backoff_max_s=1.0,
+            jitter_fraction=0.5,
+        )
+        for _ in range(50):
+            delay = remote._backoff_delay(1)
+            assert 0.1 <= delay <= 0.15
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self, tiny_network):
+        with _dead_url() as url:
+            remote = _fast_remote(
+                tiny_network, url, breaker_threshold=2, breaker_cooldown_s=60.0
+            )
+            for _ in range(2):
+                with pytest.raises(EvaluationError, match="network failure"):
+                    remote.health()
+            # breaker now open: fails fast without touching the network
+            with pytest.raises(EvaluationError, match="circuit breaker open"):
+                remote.health()
+            assert remote.num_circuit_rejections == 1
+            assert remote.metrics.counter_value("remote_circuit_opened_total") == 1
+
+    def test_half_open_probe_recovers(self, tiny_network):
+        ok = json.dumps({"status": "ok", "workload": tiny_network.name})
+        script = [(500, '{"error": "down"}'), (200, ok)]
+        with _scripted_url(script) as (url, _hits):
+            remote = _fast_remote(
+                tiny_network, url, breaker_threshold=1, breaker_cooldown_s=0.05
+            )
+            with pytest.raises(EvaluationError):
+                remote.health()  # opens the breaker
+            with pytest.raises(EvaluationError, match="circuit breaker open"):
+                remote.health()
+            time.sleep(0.1)  # cooldown elapses -> half-open
+            assert remote.health()["status"] == "ok"  # probe succeeds, closes
+            assert remote.health()["status"] == "ok"
+
+    def test_semantic_rejection_does_not_trip_breaker(self, tiny_network, sample_hw):
+        ok = json.dumps({"status": "ok", "workload": tiny_network.name})
+        script = [(400, '{"error": "bad mapping"}')] * 3 + [(200, ok)]
+        with _scripted_url(script) as (url, _hits):
+            remote = _fast_remote(
+                tiny_network, url, breaker_threshold=1, breaker_cooldown_s=60.0
+            )
+            for _ in range(3):
+                with pytest.raises(EvaluationError, match="rejected"):
+                    remote.evaluate_layer(sample_hw, MAPPING, "gemm")
+            # breaker never opened: the next request reaches the service
+            assert remote.health()["status"] == "ok"
+            assert remote.num_circuit_rejections == 0
+
+
+class TestServerErrorPaths:
+    """Satellite (b): malformed payloads get JSON errors, never stack dumps."""
+
+    def _post(self, url, path, payload, raw=None):
+        data = raw if raw is not None else json.dumps(payload).encode()
+        request = Request(f"{url}{path}", data=data,
+                          headers={"Content-Type": "application/json"})
+        import urllib.error
+
+        try:
+            with urlopen(request) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def test_invalid_json_body_is_400(self, server):
+        status, payload = self._post(server.url, "/evaluate_layer", None,
+                                     raw=b"{not json")
+        assert status == 400
+        assert "invalid JSON" in payload["error"]
+
+    def test_missing_field_is_400(self, server, sample_hw):
+        status, payload = self._post(
+            server.url, "/evaluate_layer", {"hw": encode_object(sample_hw)}
+        )
+        assert status == 400
+        assert "error" in payload
+
+    def test_unexpected_dataclass_fields_are_500_json(self, server):
+        bogus_hw = {"type": "SpatialHWConfig", "fields": {"bogus_field": 1}}
+        status, payload = self._post(
+            server.url,
+            "/evaluate_layer",
+            {"hw": bogus_hw,
+             "mapping": encode_object(MAPPING),
+             "layer": "gemm"},
+        )
+        assert status == 500
+        assert payload["error"].startswith("internal error")
+
+    def test_wrong_shape_payload_is_json_error(self, server):
+        status, payload = self._post(
+            server.url, "/evaluate_layer",
+            {"hw": 42, "mapping": [], "layer": "gemm"},
+        )
+        assert status in (400, 500)
+        assert "error" in payload
+
+    def test_errors_counted_in_metrics(self, server):
+        self._post(server.url, "/evaluate_layer", None, raw=b"{not json")
+        with urlopen(f"{server.url}/metrics") as response:
+            snapshot = json.loads(response.read())
+        assert snapshot["metrics"]["counters"]["service_errors_total"] >= 1
+
+
+class TestBatchEndpoint:
+    def _items(self, mappings, layer="gemm"):
+        return [{"mapping": encode_object(m), "layer": layer} for m in mappings]
+
+    def test_batch_matches_single_layer_results(self, server, remote, tiny_network,
+                                                sample_hw):
+        local = MaestroEngine(tiny_network)
+        requests = [
+            (GemmMapping(4, 8, 4), "gemm"),
+            (GemmMapping(8, 16, 8), "gemm"),
+            (GemmMapping(4, 8, 4), "conv"),
+        ]
+        batched = remote.evaluate_layers(sample_hw, requests)
+        for (mapping, layer), result in zip(requests, batched):
+            expected = local.evaluate_layer(sample_hw, mapping, layer)
+            assert result.latency_s == expected.latency_s
+            assert result.energy_j == expected.energy_j
+
+    def test_batch_uses_cache(self, server, remote, sample_hw):
+        requests = [(GemmMapping(4, 8, 4), "gemm"), (GemmMapping(8, 16, 8), "gemm")]
+        remote.evaluate_layers(sample_hw, requests)
+        backend_queries = server.engine.num_queries
+        results = remote.evaluate_layers(sample_hw, requests)
+        assert server.engine.num_queries == backend_queries  # all cached
+        assert remote.num_cache_hits == 2
+        assert all(result.feasible for result in results)
+
+    def test_batch_chunks_by_batch_size(self, server, tiny_network, sample_hw):
+        remote = _fast_remote(tiny_network, server.url, batch_size=2)
+        requests = [(GemmMapping(4, 8, 4, unroll=u), "gemm") for u in (1, 2, 4, 8)]
+        before = remote.metrics.counter_value("remote_requests_total")
+        remote.evaluate_layers(sample_hw, requests)
+        assert remote.metrics.counter_value("remote_requests_total") - before == 2
+
+    def test_batch_bad_item_raises_but_good_items_cached(self, server, tiny_network,
+                                                         sample_hw):
+        from repro.workloads import Gemm, Network
+
+        # the client knows a layer the server does not: server-side rejection
+        client_network = Network(
+            name=tiny_network.name,
+            layers=tiny_network.layers + (Gemm(name="ghost", m=8, n=8, k=8),),
+            family="test",
+            year=2023,
+        )
+        remote = _fast_remote(client_network, server.url)
+        requests = [(GemmMapping(4, 8, 4), "gemm"), (GemmMapping(4, 8, 4), "ghost")]
+        with pytest.raises(EvaluationError, match="ghost"):
+            remote.evaluate_layers(sample_hw, requests)
+        # the good item was still cached by the partial batch
+        backend_queries = server.engine.num_queries
+        remote.evaluate_layer(sample_hw, GemmMapping(4, 8, 4), "gemm")
+        assert server.engine.num_queries == backend_queries
+        assert remote.num_cache_hits == 1
+
+    def test_batch_charges_clock_per_query(self, server, remote, sample_hw):
+        requests = [(GemmMapping(4, 8, 4), "gemm"), (GemmMapping(8, 16, 8), "gemm")]
+        remote.evaluate_layers(sample_hw, requests)
+        assert remote.clock.now_s == pytest.approx(2 * remote.eval_cost_s)
+        assert remote.num_queries == 2
+
+    def test_server_side_per_item_errors(self, server, sample_hw):
+        payload = {
+            "hw": encode_object(sample_hw),
+            "items": self._items([GemmMapping(4, 8, 4)], layer="gemm")
+            + self._items([GemmMapping(4, 8, 4)], layer="missing"),
+        }
+        request = Request(f"{server.url}/evaluate_layers",
+                          data=json.dumps(payload).encode(),
+                          headers={"Content-Type": "application/json"})
+        with urlopen(request) as response:
+            reply = json.loads(response.read())
+        assert reply["results"][0]["ok"] is True
+        assert reply["results"][1]["ok"] is False
+        assert "missing" in reply["results"][1]["error"]
+
+    def test_items_must_be_list(self, server, sample_hw):
+        import urllib.error
+
+        request = Request(f"{server.url}/evaluate_layers",
+                          data=json.dumps({"hw": encode_object(sample_hw),
+                                           "items": "nope"}).encode(),
+                          headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urlopen(request)
+        assert exc_info.value.code == 400
+
+
+class TestMetricsEndpoint:
+    def test_engine_and_service_stats_exposed(self, server, remote, sample_hw):
+        remote.evaluate_layer(sample_hw, GemmMapping(4, 8, 4), "gemm")
+        remote.evaluate_layer(sample_hw, GemmMapping(4, 8, 4), "gemm")  # cached
+        with urlopen(f"{server.url}/metrics") as response:
+            snapshot = json.loads(response.read())
+        engine = snapshot["engine"]
+        assert engine["engine"] == "MaestroEngine"
+        assert engine["num_queries"] >= 1
+        assert engine["cache_capacity"] is not None
+        counters = snapshot["metrics"]["counters"]
+        assert counters["service_requests_total[/evaluate_layer]"] >= 1
+        histograms = snapshot["metrics"]["histograms"]
+        assert histograms["service_request_seconds"]["count"] >= 1
+
+    def test_remote_service_metrics_helper(self, remote, sample_hw):
+        remote.evaluate_layer(sample_hw, GemmMapping(4, 8, 4), "gemm")
+        snapshot = remote.service_metrics()
+        assert "engine" in snapshot and "metrics" in snapshot
+
+    def test_remote_stats_merge(self, remote, sample_hw):
+        remote.evaluate_layer(sample_hw, GemmMapping(4, 8, 4), "gemm")
+        stats = remote.stats()
+        assert stats["engine"] == "RemotePPAEngine"
+        assert stats["num_queries"] == 1
+        assert stats["base_url"] == remote.base_url
+        assert stats["num_network_retries"] == 0
+        assert stats["num_circuit_rejections"] == 0
+
+
+class TestClientValidation:
+    def test_invalid_retry_count(self, tiny_network):
+        with pytest.raises(EvaluationError):
+            _fast_remote(tiny_network, "http://x", max_network_retries=-1)
+
+    def test_invalid_breaker_threshold(self, tiny_network):
+        with pytest.raises(EvaluationError):
+            _fast_remote(tiny_network, "http://x", breaker_threshold=0)
+
+    def test_invalid_batch_size(self, tiny_network):
+        with pytest.raises(EvaluationError):
+            _fast_remote(tiny_network, "http://x", batch_size=0)

@@ -54,6 +54,46 @@ class TestTableCommand:
         assert "fsrcnn_120x320" in payload["children"]
 
 
+class TestStatsCommand:
+    @pytest.fixture()
+    def live_service(self, tiny_network):
+        from repro.costmodel import MaestroEngine
+        from repro.costmodel.service import PPAServiceServer
+        from repro.mapping import GemmMapping
+        from repro.hw import edge_design_space
+
+        engine = MaestroEngine(tiny_network, cache_capacity=64)
+        hw = edge_design_space().sample(0)
+        mapping = GemmMapping(4, 8, 4)
+        engine.evaluate_layer(hw, mapping, "gemm")
+        engine.evaluate_layer(hw, mapping, "gemm")  # one cache hit
+        with PPAServiceServer(engine) as server:
+            yield server
+
+    def test_stats_formatted(self, live_service, capsys):
+        assert main(["stats", live_service.url]) == 0
+        out = capsys.readouterr().out
+        assert "MaestroEngine" in out
+        assert "queries          2" in out
+        assert "cache hit rate   50.0%" in out
+        assert "/ 64" in out
+
+    def test_stats_json(self, live_service, capsys):
+        assert main(["stats", live_service.url, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"]["num_queries"] == 2
+        assert payload["engine"]["cache_capacity"] == 64
+        assert "counters" in payload["metrics"]
+
+    def test_serve_parser_accepts_cache_capacity(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "resnet50", "--cache-capacity", "0"]
+        )
+        assert args.cache_capacity == 0
+
+
 class TestFigCommand:
     def test_fig10_json(self, tmp_path):
         out_path = tmp_path / "fig10.json"

@@ -1,0 +1,139 @@
+"""Tests for the process-local observability primitives."""
+
+import json
+import threading
+
+import pytest
+
+from repro.utils.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("queries")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_rejects_negative(self):
+        counter = Counter("queries")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        assert counter.value == 0.0
+
+    def test_thread_safe_under_contention(self):
+        counter = Counter("queries")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000.0
+
+
+class TestHistogram:
+    def test_default_bounds_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BOUNDS) == sorted(DEFAULT_LATENCY_BOUNDS)
+
+    def test_observe_tracks_exact_summaries(self):
+        hist = Histogram("lat", bounds=(0.1, 1.0))
+        for value in (0.05, 0.5, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(2.55)
+        assert hist.mean == pytest.approx(0.85)
+
+    def test_bucket_assignment_including_overflow(self):
+        hist = Histogram("lat", bounds=(0.1, 1.0))
+        hist.observe(0.05)  # <= 0.1
+        hist.observe(0.1)   # boundary counts in its bucket
+        hist.observe(0.5)   # <= 1.0
+        hist.observe(5.0)   # overflow
+        snap = hist.snapshot()
+        assert snap["bucket_counts"] == [2, 1, 1]
+        assert snap["min"] == 0.05
+        assert snap["max"] == 5.0
+
+    def test_rejects_unsorted_or_empty_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", bounds=(1.0, 0.1))
+        with pytest.raises(ValueError):
+            Histogram("lat", bounds=())
+
+    def test_quantiles(self):
+        hist = Histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 8.0):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 0.5
+        assert hist.quantile(1.0) == 8.0
+        # the median falls in the second bucket -> its upper bound
+        assert hist.quantile(0.5) == 2.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_quantile_empty(self):
+        assert Histogram("lat").quantile(0.5) == 0.0
+
+    def test_timer_records_elapsed(self):
+        hist = Histogram("lat")
+        with hist.time():
+            pass
+        assert hist.count == 1
+        assert hist.sum >= 0.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("b") is registry.histogram("b")
+
+    def test_name_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.histogram("a")
+        registry.histogram("b")
+        with pytest.raises(ValueError):
+            registry.counter("b")
+
+    def test_counter_value_without_creation(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("never_seen") == 0.0
+        registry.counter("seen").inc(3)
+        assert registry.counter_value("seen") == 3.0
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("queries").inc(2)
+        registry.histogram("lat", bounds=(0.1, 1.0)).observe(0.2)
+        snap = registry.snapshot()
+        json.dumps(snap)
+        assert snap["counters"] == {"queries": 2.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_render_text_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("queries").inc(2)
+        hist = registry.histogram("lat", bounds=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        text = registry.render_text()
+        assert "queries 2" in text
+        assert "lat_count 2" in text
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+
+    def test_render_text_empty(self):
+        assert MetricsRegistry().render_text() == ""
