@@ -13,6 +13,8 @@ Package map
 * :mod:`repro.optim`       - GP/MOBO, ParEGO, SH/MSH, NSGA-II, hypervolume.
 * :mod:`repro.core`        - UNICO (Algorithm 1), robustness metric R,
   high-fidelity update rule, baselines.
+* :mod:`repro.tracking`    - persistent run store, search event journal,
+  crash-safe resume (``repro runs`` CLI).
 * :mod:`repro.experiments` - one harness per table/figure of the paper.
 
 Quickstart

@@ -46,15 +46,14 @@ def _cmd_networks(_args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    result = run_method(
-        args.method, args.scenario, args.network, args.preset, seed=args.seed
-    )
+def _print_result(result, method: str, network: str, scenario: str) -> None:
     print(
-        f"{args.method} on {args.network} ({args.scenario}): "
+        f"{method} on {network} ({scenario}): "
         f"{result.total_hw_evaluated} hardware evaluated, "
         f"{result.total_time_h:.2f} simulated hours"
     )
+    if "run_id" in result.extras:
+        print(f"tracked as run {result.extras['run_id']}")
     print(f"Pareto front ({len(result.pareto)} designs):")
     for design, point in zip(result.pareto.items, result.pareto.points):
         print(
@@ -64,6 +63,146 @@ def _cmd_run(args) -> int:
     best = result.best_design()
     if best is not None:
         print(f"Selected (min-Euclidean): {best.hw}")
+
+
+def _cmd_run(args) -> int:
+    result = run_method(
+        args.method,
+        args.scenario,
+        args.network,
+        args.preset,
+        seed=args.seed,
+        run_store=args.runs_dir if args.track else None,
+        checkpoint_every=args.checkpoint_every,
+    )
+    _print_result(result, args.method, args.network, args.scenario)
+    return 0
+
+
+# ------------------------------------------------------------------ runs
+def _cmd_runs_list(args) -> int:
+    from repro.tracking import RunStore
+
+    store = RunStore(args.runs_dir)
+    runs = store.list_runs()
+    if not runs:
+        print(f"no runs under {args.runs_dir}")
+        return 0
+    print(
+        f"{'run id':<42s}{'status':<11s}{'method':<13s}{'scenario':<9s}"
+        f"{'preset':<8s}{'ckpts':>6s}"
+    )
+    for run in runs:
+        manifest = run.read_manifest()
+        workload = manifest.get("workload", "?")
+        if isinstance(workload, list):
+            workload = "+".join(workload)
+        print(
+            f"{run.run_id:<42s}{manifest.get('status', '?'):<11s}"
+            f"{manifest.get('method', '?'):<13s}"
+            f"{manifest.get('scenario', '?'):<9s}"
+            f"{str(manifest.get('preset', '?')):<8s}"
+            f"{len(run.checkpoints()):>6d}"
+        )
+    return 0
+
+
+def _cmd_runs_show(args) -> int:
+    from repro.tracking import RunStore, replay_iteration_records, verify_run
+
+    run = RunStore(args.runs_dir).get(args.run_id)
+    manifest = run.read_manifest()
+    print(f"run {run.run_id}")
+    for key in sorted(manifest):
+        print(f"  {key:<22s} {json.dumps(manifest[key], sort_keys=True)}")
+    health = verify_run(run)
+    print("journal:")
+    for key in ("num_events", "journal_iterations", "truncated_tail",
+                "num_checkpoints", "latest_checkpoint"):
+        print(f"  {key:<22s} {health[key]}")
+    records = replay_iteration_records(run.journal_path)
+    if records:
+        print("iterations (replayed from journal):")
+        print(f"  {'iter':>4s}{'time_h':>10s}{'uul':>12s}{'sel':>5s}"
+              f"{'feas':>5s}{'pareto':>7s}{'best':>12s}")
+        for r in records:
+            print(
+                f"  {r.iteration:>4d}{r.time_s / 3600.0:>10.3f}"
+                f"{r.uul:>12.4g}{r.num_selected:>5d}{r.num_feasible:>5d}"
+                f"{r.pareto_size:>7d}{r.best_scalar:>12.4g}"
+            )
+    return 0
+
+
+def _cmd_runs_tail(args) -> int:
+    from repro.tracking import RunStore, read_events
+
+    run = RunStore(args.runs_dir).get(args.run_id)
+    scan = read_events(run.journal_path)
+    events = scan.events
+    if args.type:
+        events = [e for e in events if e.get("type") == args.type]
+    for event in events[-args.lines:]:
+        print(json.dumps(event, sort_keys=True))
+    if scan.truncated_tail:
+        print("(journal has a truncated tail — run was interrupted mid-write)",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_runs_compare(args) -> int:
+    from repro.tracking import RunStore, replay_iteration_records
+
+    store = RunStore(args.runs_dir)
+    runs = [store.get(run_id) for run_id in (args.run_a, args.run_b)]
+    records = [replay_iteration_records(run.journal_path) for run in runs]
+    manifests = [run.read_manifest() for run in runs]
+    print(f"{'':<22s}{runs[0].run_id[:28]:>30s}{runs[1].run_id[:28]:>30s}")
+    for key in ("method", "scenario", "workload", "preset", "seed", "status"):
+        values = [json.dumps(m.get(key), sort_keys=True) for m in manifests]
+        print(f"{key:<22s}{values[0]:>30s}{values[1]:>30s}")
+    print(f"{'iterations':<22s}{len(records[0]):>30d}{len(records[1]):>30d}")
+    for label, getter in (
+        ("final pareto size", lambda rs: rs[-1].pareto_size if rs else 0),
+        ("final best scalar", lambda rs: rs[-1].best_scalar if rs else float("inf")),
+        ("final uul", lambda rs: rs[-1].uul if rs else float("inf")),
+        ("total time h", lambda rs: rs[-1].time_s / 3600.0 if rs else 0.0),
+    ):
+        values = [getter(rs) for rs in records]
+        print(f"{label:<22s}{values[0]:>30.6g}{values[1]:>30.6g}")
+    shared = min(len(records[0]), len(records[1]))
+    if shared:
+        print("pareto size by iteration:")
+        print(f"  {'iter':>4s}{'a':>8s}{'b':>8s}")
+        for i in range(shared):
+            print(
+                f"  {i:>4d}{records[0][i].pareto_size:>8d}"
+                f"{records[1][i].pareto_size:>8d}"
+            )
+    return 0
+
+
+def _cmd_runs_resume(args) -> int:
+    from repro.tracking import RunStore, resume_run
+
+    store = RunStore(args.runs_dir)
+    run = store.get(args.run_id)
+    manifest = run.read_manifest()
+    result = resume_run(
+        run,
+        max_iterations=args.max_iterations,
+        checkpoint_every=args.checkpoint_every,
+    )
+    _print_result(
+        result,
+        manifest.get("method", "?"),
+        str(manifest.get("workload", "?")),
+        manifest.get("scenario", "?"),
+    )
+    print(
+        f"resumed from iteration {result.extras['resumed_from_iteration']}, "
+        f"now at {result.extras['iterations']}"
+    )
     return 0
 
 
@@ -224,7 +363,61 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=("edge", "cloud", "ascend"))
     run_parser.add_argument("--preset", default="smoke")
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--track", action="store_true",
+        help="persist a run directory (manifest + journal + checkpoints)",
+    )
+    run_parser.add_argument("--runs-dir", default="runs",
+                            help="root of tracked run directories")
+    run_parser.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="auto-checkpoint period in iterations (0 = journal only)",
+    )
     run_parser.set_defaults(fn=_cmd_run)
+
+    runs_parser = sub.add_parser(
+        "runs", help="inspect / resume tracked runs (see `run --track`)"
+    )
+    runs_sub = runs_parser.add_subparsers(dest="runs_command", required=True)
+
+    runs_list = runs_sub.add_parser("list", help="list tracked runs")
+    runs_list.add_argument("--runs-dir", default="runs")
+    runs_list.set_defaults(fn=_cmd_runs_list)
+
+    runs_show = runs_sub.add_parser(
+        "show", help="manifest, journal health and iteration table of a run"
+    )
+    runs_show.add_argument("run_id")
+    runs_show.add_argument("--runs-dir", default="runs")
+    runs_show.set_defaults(fn=_cmd_runs_show)
+
+    runs_tail = runs_sub.add_parser("tail", help="print a run's last events")
+    runs_tail.add_argument("run_id")
+    runs_tail.add_argument("-n", "--lines", type=int, default=10)
+    runs_tail.add_argument("--type", default=None,
+                           help="only events of this type")
+    runs_tail.add_argument("--runs-dir", default="runs")
+    runs_tail.set_defaults(fn=_cmd_runs_tail)
+
+    runs_compare = runs_sub.add_parser(
+        "compare", help="side-by-side trajectory comparison of two runs"
+    )
+    runs_compare.add_argument("run_a")
+    runs_compare.add_argument("run_b")
+    runs_compare.add_argument("--runs-dir", default="runs")
+    runs_compare.set_defaults(fn=_cmd_runs_compare)
+
+    runs_resume = runs_sub.add_parser(
+        "resume", help="continue an interrupted run from its checkpoint"
+    )
+    runs_resume.add_argument("run_id")
+    runs_resume.add_argument("--runs-dir", default="runs")
+    runs_resume.add_argument(
+        "--max-iterations", type=int, default=None,
+        help="override the manifest's iteration budget",
+    )
+    runs_resume.add_argument("--checkpoint-every", type=int, default=1)
+    runs_resume.set_defaults(fn=_cmd_runs_resume)
 
     table_parser = sub.add_parser("table", help="regenerate Table 1/2")
     table_parser.add_argument("scenario", choices=("edge", "cloud"))

@@ -27,6 +27,7 @@ from repro.costmodel.results import NetworkPPA
 from repro.hw.space import DiscreteDesignSpace
 from repro.mapping.gemm_mapping import NetworkMapping
 from repro.optim.pareto import ParetoFront
+from repro.tracking.tracker import NullTracker, Tracker
 from repro.utils.clock import SimulatedClock
 from repro.utils.rng import SeedSequenceFactory
 from repro.workloads.network import Network
@@ -104,6 +105,7 @@ class CoOptimizer(ABC):
         robustness_alpha: float = 0.05,
         seed: int = 0,
         trial_factory=None,
+        tracker: Optional[Tracker] = None,
     ):
         self.space = space
         self.network = network
@@ -121,6 +123,9 @@ class CoOptimizer(ABC):
         self._trial_counter = 0
         self.total_hw_evaluated = 0
         self._trial_factory = trial_factory
+        #: observer of search events (journaling, checkpointing); the
+        #: default NullTracker keeps the untracked hot path free
+        self.tracker: Tracker = tracker if tracker is not None else NullTracker()
 
     # --------------------------------------------------------------- plumbing
     def new_trial(self, hw) -> SWSearchTrial:
@@ -152,6 +157,7 @@ class CoOptimizer(ABC):
             robustness_alpha=self.robustness_alpha,
         )
         self.total_hw_evaluated += 1
+        added = False
         if evaluation.feasible:
             design = HWDesign(
                 hw=trial.hw,
@@ -159,7 +165,9 @@ class CoOptimizer(ABC):
                 ppa=evaluation.ppa,
                 robustness=evaluation.robustness,
             )
-            self.pareto.add(design, evaluation.ppa_vector)
+            added = self.pareto.add(design, evaluation.ppa_vector)
+        if self.tracker.enabled:
+            self.tracker.on_evaluation(self, evaluation, added)
         self.timeline.append(
             TimelineEntry(
                 time_s=self.clock.now_s,

@@ -10,6 +10,18 @@ clock — plus the MOBO sampler's RNG state, into one JSON document.
 :class:`~repro.core.unico.Unico` (same spaces/config/seed), after which
 ``optimize()`` continues from the saved iteration.
 
+Version history
+---------------
+* **v2** (current) — serializes the full :class:`RobustnessResult` per
+  archived design (delta, theta, optimal/sub-optimal latency+power) and
+  records ``completed_iterations`` explicitly; loading sets
+  :attr:`Unico.completed_iterations` instead of shrinking
+  ``config.max_iterations`` in place, so repeated save/load cycles no
+  longer erode the budget.
+* **v1** — still readable.  v1 files carry only ``r_value``, so restored
+  designs get the historical placeholder geometry (``delta=r_value``,
+  ``theta=pi/2``, sub-optimal PPA copied from optimal).
+
 Hardware configs serialize through the design space's assignment dicts;
 per-layer mappings are *not* checkpointed (a resumed run re-derives
 mappings for new candidates; archived designs keep their recorded PPA).
@@ -29,7 +41,8 @@ from repro.core.unico import IterationRecord, Unico
 from repro.costmodel.results import NetworkPPA
 from repro.errors import ConfigurationError
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def _config_to_payload(space, config) -> Dict:
@@ -40,8 +53,41 @@ def _config_from_payload(space, payload: Dict):
     return space.to_config(dict(payload))
 
 
+def _robustness_to_payload(robustness: RobustnessResult) -> Dict:
+    return {
+        "r_value": robustness.r_value,
+        "delta": robustness.delta,
+        "theta": robustness.theta,
+        "optimal_latency_s": robustness.optimal_latency_s,
+        "optimal_power_w": robustness.optimal_power_w,
+        "suboptimal_latency_s": robustness.suboptimal_latency_s,
+        "suboptimal_power_w": robustness.suboptimal_power_w,
+    }
+
+
+def _robustness_from_payload(design_payload: Dict, ppa: NetworkPPA) -> RobustnessResult:
+    robustness = design_payload.get("robustness")
+    if robustness is not None:  # v2: full geometry round-trips
+        return RobustnessResult(**robustness)
+    # v1 fallback: only R survived serialization; reconstruct the old
+    # placeholder geometry (delta=R, theta=pi/2, sub-optimal == optimal)
+    return RobustnessResult(
+        r_value=design_payload["r_value"],
+        delta=design_payload["r_value"],
+        theta=np.pi / 2,
+        optimal_latency_s=ppa.latency_s,
+        optimal_power_w=ppa.power_w,
+        suboptimal_latency_s=ppa.latency_s,
+        suboptimal_power_w=ppa.power_w,
+    )
+
+
 def save_checkpoint(unico: Unico, path: Union[str, pathlib.Path]) -> None:
-    """Write the optimizer's inter-iteration state to ``path`` (JSON)."""
+    """Write the optimizer's inter-iteration state to ``path`` (JSON).
+
+    The write is atomic (same-directory temp file + rename) so a crash
+    mid-save never clobbers the previous checkpoint.
+    """
     space = unico.space
     designs = []
     for design, point in zip(unico.pareto.items, unico.pareto.points):
@@ -55,6 +101,7 @@ def save_checkpoint(unico: Unico, path: Union[str, pathlib.Path]) -> None:
                     "area_mm2": design.ppa.area_mm2,
                 },
                 "r_value": design.robustness.r_value,
+                "robustness": _robustness_to_payload(design.robustness),
                 "point": [float(v) for v in point],
             }
         )
@@ -67,7 +114,8 @@ def save_checkpoint(unico: Unico, path: Union[str, pathlib.Path]) -> None:
         }
     payload = {
         "version": CHECKPOINT_VERSION,
-        "iteration": len(unico.iteration_records),
+        "iteration": unico.completed_iterations,
+        "completed_iterations": unico.completed_iterations,
         "clock_s": unico.clock.now_s,
         "train_configs": [
             _config_to_payload(space, c) for c in unico.train_configs
@@ -105,7 +153,10 @@ def save_checkpoint(unico: Unico, path: Union[str, pathlib.Path]) -> None:
             for r in unico.iteration_records
         ],
     }
-    pathlib.Path(path).write_text(json.dumps(payload))
+    target = pathlib.Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    tmp.replace(target)
 
 
 def load_checkpoint(unico: Unico, path: Union[str, pathlib.Path]) -> Unico:
@@ -113,11 +164,17 @@ def load_checkpoint(unico: Unico, path: Union[str, pathlib.Path]) -> Unico:
 
     ``unico`` must be freshly constructed with the same design space and
     configuration; continuing with mismatched objective counts raises.
+    Completed iterations are tracked on the optimizer
+    (:attr:`Unico.completed_iterations`) — the configured
+    ``max_iterations`` budget is left untouched, so save/load cycles are
+    idempotent.
     """
     payload = json.loads(pathlib.Path(path).read_text())
-    if payload.get("version") != CHECKPOINT_VERSION:
+    version = payload.get("version")
+    if version not in SUPPORTED_VERSIONS:
         raise ConfigurationError(
-            f"checkpoint version {payload.get('version')} unsupported"
+            f"checkpoint version {version} unsupported "
+            f"(supported: {SUPPORTED_VERSIONS})"
         )
     space = unico.space
     train_objectives = [np.array(y, dtype=float) for y in payload["train_objectives"]]
@@ -150,20 +207,11 @@ def load_checkpoint(unico: Unico, path: Union[str, pathlib.Path]) -> Unico:
             area_mm2=design_payload["ppa"]["area_mm2"],
             feasible=True,
         )
-        robustness = RobustnessResult(
-            r_value=design_payload["r_value"],
-            delta=design_payload["r_value"],
-            theta=np.pi / 2,
-            optimal_latency_s=ppa.latency_s,
-            optimal_power_w=ppa.power_w,
-            suboptimal_latency_s=ppa.latency_s,
-            suboptimal_power_w=ppa.power_w,
-        )
         design = HWDesign(
             hw=_config_from_payload(space, design_payload["hw"]),
             mapping={},
             ppa=ppa,
-            robustness=robustness,
+            robustness=_robustness_from_payload(design_payload, ppa),
         )
         unico.pareto.add(design, design_payload["point"])
     unico.timeline = [
@@ -177,8 +225,9 @@ def load_checkpoint(unico: Unico, path: Union[str, pathlib.Path]) -> Unico:
     unico.iteration_records = [
         IterationRecord(**record) for record in payload["iteration_records"]
     ]
-    # resume the iteration counter by shrinking the remaining budget
-    unico.config.max_iterations = max(
-        1, unico.config.max_iterations - payload["iteration"]
+    # resume point: completed iterations live on the optimizer, not in a
+    # destructively shrunk config budget
+    unico.completed_iterations = int(
+        payload.get("completed_iterations", payload["iteration"])
     )
     return unico

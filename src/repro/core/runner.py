@@ -100,6 +100,16 @@ class JobRunner:
                 time.perf_counter() - start
             )
 
+    def stats(self) -> dict:
+        """Dispatch counters, JSON-able (journaled by engine snapshots)."""
+        return {
+            "backend": self.backend,
+            "max_workers": self.max_workers,
+            "num_batches": self.num_batches,
+            "num_jobs": self.num_jobs,
+            "num_pickle_fallbacks": self.num_pickle_fallbacks,
+        }
+
     def starmap(
         self, fn: Callable[..., ResultT], args_list: Sequence[tuple]
     ) -> List[ResultT]:

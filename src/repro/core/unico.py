@@ -163,6 +163,11 @@ class Unico(CoOptimizer):
         self.train_objectives_raw: List[np.ndarray] = []
         self.iteration_records: List[IterationRecord] = []
         self.evaluations: List[HWEvaluation] = []
+        #: iterations fully finished so far; ``optimize()`` starts here, so
+        #: a checkpoint-restored optimizer continues rather than restarting
+        #: (and the configured ``max_iterations`` budget is never mutated)
+        self.completed_iterations = 0
+        self._current_iteration = 0
 
     # ------------------------------------------------------------------ parts
     def _normalized_training_set(self) -> np.ndarray:
@@ -205,6 +210,23 @@ class Unico(CoOptimizer):
                 durations.append(duration_queries * self.engine.eval_cost_s)
             self.clock.advance_parallel(durations, label="sw-search")
             if plan_index == len(plans) - 1:
+                if self.tracker.enabled:
+                    tv = {i: terminal_value(trials[i].best_curve()) for i in active}
+                    auc = {
+                        i: relative_auc_score(trials[i].best_curve())
+                        for i in active
+                    }
+                    self.tracker.on_msh_round(
+                        self,
+                        self._current_iteration,
+                        plan_index,
+                        plan.cumulative_budget,
+                        list(active),
+                        tv,
+                        auc,
+                        list(active),
+                        [],
+                    )
                 break
             keep = min(plans[plan_index + 1].num_candidates, len(active))
             promotions = 0
@@ -214,18 +236,37 @@ class Unico(CoOptimizer):
                 )
             tv = {i: terminal_value(trials[i].best_curve()) for i in active}
             auc = {i: relative_auc_score(trials[i].best_curve()) for i in active}
-            active = select_survivors(active, tv, auc, keep, promotions)
+            survivors = select_survivors(active, tv, auc, keep, promotions)
+            if self.tracker.enabled:
+                # candidates that outlived a better-TV rival owe it to AUC
+                pure_tv = set(sorted(active, key=lambda i: (tv[i], i))[:keep])
+                promoted = [i for i in survivors if i not in pure_tv]
+                self.tracker.on_msh_round(
+                    self,
+                    self._current_iteration,
+                    plan_index,
+                    plan.cumulative_budget,
+                    list(active),
+                    tv,
+                    auc,
+                    list(survivors),
+                    promoted,
+                )
+            active = survivors
 
     # ----------------------------------------------------------------- driver
     def optimize(self) -> CoSearchResult:
         config = self.config
         self.clock.workers = config.workers
-        for iteration in range(config.max_iterations):
+        self.tracker.on_run_start(self)
+        for iteration in range(self.completed_iterations, config.max_iterations):
             if (
                 config.time_budget_s is not None
                 and self.clock.now_s >= config.time_budget_s
             ):
                 break
+            self._current_iteration = iteration
+            self.tracker.on_iteration_start(self, iteration)
             # (1) batch sampling guided by the high-fidelity surrogate
             incumbents = [design.hw for design in self.pareto.items]
             batch = self.sampler.suggest_batch(
@@ -240,6 +281,8 @@ class Unico(CoOptimizer):
                 batch = seeds + batch[len(seeds):]
             if not batch:
                 break
+            if self.tracker.enabled:
+                self.tracker.on_hw_sampled(self, iteration, batch)
             # (2) adaptive SW mapping search via (M)SH
             trials = [self.new_trial(hw) for hw in batch]
             self._run_msh(trials)
@@ -255,28 +298,35 @@ class Unico(CoOptimizer):
                     for evaluation in batch_evaluations
                 ]
             )
+            uul_before = self.selector.uul
             selected, scalars = self.selector.select(normalized)
+            if self.tracker.enabled:
+                self.tracker.on_surrogate_update(
+                    self, iteration, scalars, selected, uul_before,
+                    self.selector.uul,
+                )
             for index in np.flatnonzero(selected):
                 self.train_configs.append(batch[index])
                 self.train_objectives_raw.append(
                     batch_evaluations[index].objectives
                 )
-            self.iteration_records.append(
-                IterationRecord(
-                    iteration=iteration,
-                    time_s=self.clock.now_s,
-                    uul=self.selector.uul,
-                    num_selected=int(selected.sum()),
-                    num_feasible=sum(
-                        1 for evaluation in batch_evaluations if evaluation.feasible
-                    ),
-                    pareto_size=len(self.pareto),
-                    best_scalar=float(np.min(scalars[np.isfinite(scalars)]))
-                    if np.isfinite(scalars).any()
-                    else float("inf"),
-                )
+            record = IterationRecord(
+                iteration=iteration,
+                time_s=self.clock.now_s,
+                uul=self.selector.uul,
+                num_selected=int(selected.sum()),
+                num_feasible=sum(
+                    1 for evaluation in batch_evaluations if evaluation.feasible
+                ),
+                pareto_size=len(self.pareto),
+                best_scalar=float(np.min(scalars[np.isfinite(scalars)]))
+                if np.isfinite(scalars).any()
+                else float("inf"),
             )
-        return self.make_result(
+            self.iteration_records.append(record)
+            self.completed_iterations = iteration + 1
+            self.tracker.on_iteration_end(self, record)
+        result = self.make_result(
             extras={
                 "iterations": len(self.iteration_records),
                 "train_set_size": len(self.train_configs),
@@ -284,3 +334,5 @@ class Unico(CoOptimizer):
                 "iteration_records": self.iteration_records,
             }
         )
+        self.tracker.on_run_end(self, result)
+        return result

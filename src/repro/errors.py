@@ -42,3 +42,7 @@ class SearchBudgetError(ReproError):
 
 class SurrogateError(ReproError):
     """The GP surrogate could not be fit or queried."""
+
+
+class TrackingError(ReproError):
+    """A run store, event journal, or resume operation is inconsistent."""

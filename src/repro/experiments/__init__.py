@@ -18,6 +18,7 @@ from repro.experiments.fig10 import FIG10_METHODS, run_fig10, run_fig10_network
 from repro.experiments.fig11 import evaluate_default, run_fig11
 from repro.experiments.harness import (
     METHODS,
+    build_optimizer,
     combined_reference,
     final_hypervolume,
     hv_difference_curve,
@@ -56,6 +57,7 @@ __all__ = [
     "ideal_front",
     "make_platform",
     "resolve_workload",
+    "build_optimizer",
     "run_method",
     "sw_search_on",
     "time_grid",

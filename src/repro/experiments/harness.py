@@ -119,15 +119,20 @@ def make_platform(scenario: str, network: Network):
     )
 
 
-def run_method(
+def build_optimizer(
     method: str,
     scenario: str,
     workload: Union[str, Network, Sequence[str]],
     preset: Union[str, Preset] = "smoke",
     seed: int = 0,
     time_budget_s: Optional[float] = None,
-) -> CoSearchResult:
-    """Run one (method, scenario, workload) cell and return its result."""
+):
+    """Construct (without running) the co-optimizer for one cell.
+
+    This is the factory :func:`run_method` drives and the piece
+    ``repro runs resume`` uses to rebuild an optimizer from a tracked
+    run's manifest before restoring its checkpoint.
+    """
     if method not in METHODS:
         raise ConfigurationError(f"unknown method {method!r}; use one of {METHODS}")
     preset = get_preset(preset) if isinstance(preset, str) else preset
@@ -203,9 +208,75 @@ def run_method(
         optimizer = RandomCodesign(
             space, network, engine, config, tool=tool, seed=seed, **caps
         )
-    result = optimizer.optimize()
+    return optimizer
+
+
+def _workload_name(workload: Union[str, Network, Sequence[str]]):
+    """Manifest-friendly workload identity (name or list of names)."""
+    if isinstance(workload, Network):
+        return workload.name
+    if isinstance(workload, str):
+        return workload
+    return [str(name) for name in workload]
+
+
+def run_method(
+    method: str,
+    scenario: str,
+    workload: Union[str, Network, Sequence[str]],
+    preset: Union[str, Preset] = "smoke",
+    seed: int = 0,
+    time_budget_s: Optional[float] = None,
+    tracker=None,
+    run_store=None,
+    checkpoint_every: int = 1,
+) -> CoSearchResult:
+    """Run one (method, scenario, workload) cell and return its result.
+
+    Tracking: pass an explicit :class:`~repro.tracking.Tracker`, or a
+    ``run_store`` (a :class:`~repro.tracking.RunStore` or a directory
+    path) to allocate a ``runs/<run-id>/`` directory with a manifest,
+    journal and periodic checkpoints; the run id lands in
+    ``result.extras["run_id"]``.
+    """
+    optimizer = build_optimizer(
+        method, scenario, workload, preset, seed=seed, time_budget_s=time_budget_s
+    )
+    run = None
+    if tracker is None and run_store is not None:
+        import dataclasses
+
+        from repro.tracking import JournalTracker, RunStore
+        from repro.utils.records import to_jsonable
+
+        store = run_store if isinstance(run_store, RunStore) else RunStore(run_store)
+        preset_name = preset if isinstance(preset, str) else preset.name
+        run = store.create_run(
+            {
+                "method": method,
+                "scenario": scenario,
+                "workload": _workload_name(workload),
+                "preset": preset_name,
+                "seed": seed,
+                "time_budget_s": time_budget_s,
+                "space": optimizer.space.name,
+                "engine": type(optimizer.engine).__name__,
+                "config": to_jsonable(dataclasses.asdict(optimizer.config)),
+            }
+        )
+        tracker = JournalTracker(run, checkpoint_every=checkpoint_every)
+    if tracker is not None:
+        optimizer.tracker = tracker
+    try:
+        result = optimizer.optimize()
+    except BaseException as error:
+        if tracker is not None:
+            tracker.on_run_failed(optimizer, error)
+        raise
     result.extras["method_requested"] = method
     result.extras["scenario"] = scenario
+    if run is not None:
+        result.extras["run_id"] = run.run_id
     result.method = method
     return result
 

@@ -1,0 +1,52 @@
+"""Experiment tracking: persistent run store, event journal, resume.
+
+A tracked co-search leaves three durable artifacts in ``runs/<run-id>/``:
+a ``manifest.json`` identity card, an append-only ``journal.jsonl`` of
+typed search events, and periodic ``checkpoints/`` written with the
+:mod:`repro.core.checkpoint` codec.  Together they make a multi-day run
+inspectable (``repro runs show/tail/compare``), comparable after the
+fact, and resumable after a crash (``repro runs resume``).
+
+* :class:`EventJournal` — crash-safe JSONL appends, tolerant reads,
+* :class:`RunStore` / :class:`RunHandle` — run-directory ownership,
+* :class:`Tracker` / :class:`JournalTracker` — the hook interface
+  threaded through ``Unico.optimize()`` and the experiment harness,
+* :func:`resume_run` / :func:`verify_run` / :func:`replay_iteration_records`
+  — consistency-checked continuation of interrupted searches.
+"""
+
+from repro.tracking.journal import (
+    EVENT_TYPES,
+    JOURNAL_VERSION,
+    EventJournal,
+    JournalScan,
+    iter_events,
+    read_events,
+    verify_sequence,
+)
+from repro.tracking.resume import (
+    replay_iteration_records,
+    resume_run,
+    verify_run,
+)
+from repro.tracking.store import RUN_STATUSES, RunHandle, RunStore
+from repro.tracking.tracker import JournalTracker, NullTracker, Tracker
+
+__all__ = [
+    "EVENT_TYPES",
+    "JOURNAL_VERSION",
+    "RUN_STATUSES",
+    "EventJournal",
+    "JournalScan",
+    "JournalTracker",
+    "NullTracker",
+    "RunHandle",
+    "RunStore",
+    "Tracker",
+    "iter_events",
+    "read_events",
+    "replay_iteration_records",
+    "resume_run",
+    "verify_run",
+    "verify_sequence",
+]

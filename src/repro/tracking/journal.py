@@ -1,0 +1,214 @@
+"""Append-only, crash-safe JSONL event journal for tracked search runs.
+
+A search that spans days of simulated MAESTRO / cycle-accurate time is an
+experiment whose *trajectory* matters as much as its final front: which
+hardware was sampled, which MSH candidates were promoted on TV vs AUC,
+which batch members the UUL rule admitted into the surrogate, when the
+Pareto front grew.  The journal records those decisions as typed events,
+one JSON object per line:
+
+    {"seq": 17, "type": "iteration_end", "time_s": 1234.5, ...payload}
+
+Crash safety comes from two properties:
+
+* **Atomic line appends** — every event is serialized to one complete
+  line and written with a single ``os.write`` on an ``O_APPEND`` file
+  descriptor, so concurrent writers interleave whole lines and a crash
+  can only lose (truncate) the final line, never corrupt earlier ones.
+* **Tolerant reads** — :func:`read_events` stops at the first malformed
+  or unterminated line and reports it as a truncated tail instead of
+  failing, so a journal cut mid-write is still fully usable up to the
+  last complete event.
+
+``fsync=True`` additionally flushes each line to stable storage before
+returning — the right trade for cycle-accurate runs where one event per
+2-10 simulated minutes is cheap insurance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.errors import TrackingError
+
+#: The journal's own format version, stamped on every ``run_start`` event.
+JOURNAL_VERSION = 1
+
+#: Event types emitted by :class:`~repro.tracking.tracker.JournalTracker`.
+EVENT_TYPES = (
+    "run_start",
+    "resume",
+    "iteration_start",
+    "hw_sampled",
+    "msh_round",
+    "surrogate_update",
+    "evaluation",
+    "pareto_update",
+    "engine_snapshot",
+    "checkpoint",
+    "iteration_end",
+    "run_end",
+)
+
+
+@dataclass
+class JournalScan:
+    """Outcome of reading a journal file from disk."""
+
+    events: List[Dict] = field(default_factory=list)
+    #: bytes of a trailing partial/corrupt line (crash artifact), if any
+    truncated_tail: bool = False
+    last_seq: int = -1
+
+    def of_type(self, event_type: str) -> List[Dict]:
+        return [e for e in self.events if e.get("type") == event_type]
+
+
+class EventJournal:
+    """Writer for one run's ``journal.jsonl``.
+
+    Sequence numbers are monotonically increasing per journal; a resumed
+    run continues from the last complete event's ``seq`` (see
+    :meth:`open_resume`).  The writer is thread-safe — the ``thread`` job
+    runner backend may surface events from worker threads.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, pathlib.Path],
+        fsync: bool = False,
+        _next_seq: int = 0,
+    ):
+        self.path = pathlib.Path(path)
+        self.fsync = fsync
+        self._next_seq = _next_seq
+        self._lock = threading.Lock()
+        self._fd: Optional[int] = None
+
+    @classmethod
+    def open_resume(
+        cls, path: Union[str, pathlib.Path], fsync: bool = False
+    ) -> "EventJournal":
+        """Open an existing journal, continuing its sequence numbering."""
+        scan = read_events(path)
+        return cls(path, fsync=fsync, _next_seq=scan.last_seq + 1)
+
+    # ------------------------------------------------------------------ write
+    def _ensure_open(self) -> int:
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        return self._fd
+
+    def append(self, event_type: str, payload: Optional[Dict] = None) -> int:
+        """Write one event atomically; returns its sequence number."""
+        if event_type not in EVENT_TYPES:
+            raise TrackingError(
+                f"unknown event type {event_type!r}; use one of {EVENT_TYPES}"
+            )
+        record = {"seq": 0, "type": event_type}
+        record.update(payload or {})
+        with self._lock:
+            record["seq"] = self._next_seq
+            line = json.dumps(record, sort_keys=True, default=_jsonable) + "\n"
+            data = line.encode("utf-8")
+            fd = self._ensure_open()
+            written = os.write(fd, data)
+            if written != len(data):  # pragma: no cover - disk-full path
+                raise TrackingError(
+                    f"short write to journal {self.path} "
+                    f"({written}/{len(data)} bytes)"
+                )
+            if self.fsync:
+                os.fsync(fd)
+            self._next_seq += 1
+            return record["seq"]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> "EventJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _jsonable(value):
+    """Fallback serializer: NumPy scalars/arrays and everything repr-able."""
+    from repro.utils.records import to_jsonable
+
+    return to_jsonable(value)
+
+
+# ---------------------------------------------------------------------- read
+def iter_events(path: Union[str, pathlib.Path]) -> Iterator[Dict]:
+    """Yield complete events in order; silently stops at a truncated tail."""
+    yield from read_events(path).events
+
+
+def read_events(path: Union[str, pathlib.Path]) -> JournalScan:
+    """Read a journal, tolerating a crash-truncated final line.
+
+    Raises :class:`TrackingError` only if the file is missing — corruption
+    confined to the tail is expected after a kill and is reported through
+    :attr:`JournalScan.truncated_tail`.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise TrackingError(f"journal {path} does not exist")
+    scan = JournalScan()
+    raw = path.read_bytes()
+    if not raw:
+        return scan
+    lines = raw.split(b"\n")
+    # a journal written exclusively via atomic line appends ends with "\n";
+    # anything after the final newline is a partial (crashed) write
+    complete, tail = lines[:-1], lines[-1]
+    if tail:
+        scan.truncated_tail = True
+    for line in complete:
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            # corruption mid-file: everything after it is untrustworthy
+            scan.truncated_tail = True
+            break
+        scan.events.append(event)
+    if scan.events:
+        scan.last_seq = int(scan.events[-1].get("seq", len(scan.events) - 1))
+    return scan
+
+
+def verify_sequence(scan: JournalScan) -> None:
+    """Assert the scan's events carry contiguous sequence numbers from 0."""
+    for expected, event in enumerate(scan.events):
+        seq = event.get("seq")
+        if seq != expected:
+            raise TrackingError(
+                f"journal sequence broken at position {expected}: "
+                f"expected seq {expected}, found {seq!r}"
+            )
+
+
+__all__ = [
+    "EVENT_TYPES",
+    "JOURNAL_VERSION",
+    "EventJournal",
+    "JournalScan",
+    "iter_events",
+    "read_events",
+    "verify_sequence",
+]

@@ -1,0 +1,182 @@
+"""Crash-safe resume: rebuild an optimizer from manifest + checkpoint.
+
+``repro runs resume <run-id>`` lands here.  The contract:
+
+1. the run's **manifest** names the cell (method, scenario, workload,
+   preset, seed, time budget) — enough to rebuild the exact optimizer via
+   :func:`repro.experiments.harness.build_optimizer`;
+2. the latest **checkpoint** restores Algorithm 1's inter-iteration state
+   (training set, normalizer, UUL selector, Pareto archive, RNG, clock);
+3. the **journal** is the ground truth of what already happened — before
+   continuing, :func:`verify_run` checks the sequence numbering and
+   :func:`resume_run` cross-checks that the journal's replayed
+   iteration-record sequence agrees with the checkpoint, refusing to
+   continue from inconsistent artifacts.
+
+Because checkpoints are written *after* their ``iteration_end`` journal
+event, a kill between the two leaves the journal one iteration ahead of
+the checkpoint; the resumed run simply re-executes that iteration and the
+replay keeps the latest record per iteration index, so the final replayed
+sequence is identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional, Union
+
+from repro.errors import TrackingError
+from repro.tracking.journal import JournalScan, read_events, verify_sequence
+from repro.tracking.store import RunHandle, RunStore
+from repro.tracking.tracker import JournalTracker
+
+#: manifest keys :func:`resume_run` needs to rebuild the optimizer
+REQUIRED_MANIFEST_KEYS = ("method", "scenario", "workload", "preset", "seed")
+
+
+def replay_iteration_records(
+    source: Union[str, pathlib.Path, JournalScan]
+) -> List:
+    """Reconstruct the :class:`IterationRecord` sequence from a journal.
+
+    A re-executed iteration (kill between ``iteration_end`` and its
+    checkpoint) appears twice; the latest record per iteration wins.
+    Returns records ordered by iteration index.
+    """
+    from repro.core.unico import IterationRecord
+
+    scan = source if isinstance(source, JournalScan) else read_events(source)
+    by_iteration: Dict[int, IterationRecord] = {}
+    for event in scan.of_type("iteration_end"):
+        payload = event.get("record") or {}
+        try:
+            record = IterationRecord(
+                iteration=int(payload["iteration"]),
+                time_s=float(payload["time_s"]),
+                uul=float(payload["uul"]),
+                num_selected=int(payload["num_selected"]),
+                num_feasible=int(payload["num_feasible"]),
+                pareto_size=int(payload["pareto_size"]),
+                best_scalar=float(payload["best_scalar"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise TrackingError(
+                f"malformed iteration_end event (seq {event.get('seq')}): {error}"
+            )
+        by_iteration[record.iteration] = record
+    return [by_iteration[i] for i in sorted(by_iteration)]
+
+
+def verify_run(run: RunHandle) -> Dict:
+    """Structural consistency check of one run directory.
+
+    Returns a summary dict; raises :class:`TrackingError` on broken
+    sequence numbering or missing artifacts.  A truncated journal tail
+    (the signature of a kill mid-write) is reported, not rejected.
+    """
+    manifest = run.read_manifest()
+    if not run.journal_path.exists():
+        raise TrackingError(f"run {run.run_id} has no journal")
+    scan = read_events(run.journal_path)
+    verify_sequence(scan)
+    records = replay_iteration_records(scan)
+    expected = list(range(len(records)))
+    if [r.iteration for r in records] != expected:
+        raise TrackingError(
+            f"run {run.run_id}: journal iteration records are not contiguous "
+            f"({[r.iteration for r in records]})"
+        )
+    latest = run.latest_checkpoint()
+    return {
+        "run_id": run.run_id,
+        "status": manifest.get("status", "created"),
+        "num_events": len(scan.events),
+        "truncated_tail": scan.truncated_tail,
+        "journal_iterations": len(records),
+        "num_checkpoints": len(run.checkpoints()),
+        "latest_checkpoint": latest.name if latest else None,
+    }
+
+
+def resume_run(
+    run: Union[RunHandle, str, pathlib.Path],
+    store: Optional[RunStore] = None,
+    max_iterations: Optional[int] = None,
+    checkpoint_every: int = 1,
+    fsync: bool = False,
+):
+    """Continue an interrupted tracked run; returns its final result.
+
+    ``run`` is a :class:`RunHandle`, a run id (requires ``store``), or a
+    run directory path.  ``max_iterations`` overrides the manifest's
+    recorded budget (e.g. to extend a completed run).
+    """
+    from repro.experiments.harness import build_optimizer
+    from repro.core.checkpoint import load_checkpoint
+
+    if isinstance(run, (str, pathlib.Path)):
+        if store is not None:
+            run = store.get(str(run))
+        else:
+            run = RunHandle(run)
+    manifest = run.read_manifest()
+    missing = [k for k in REQUIRED_MANIFEST_KEYS if k not in manifest]
+    if missing:
+        raise TrackingError(
+            f"run {run.run_id} manifest lacks {missing}; cannot rebuild "
+            "the optimizer for resume"
+        )
+    health = verify_run(run)
+    checkpoint = run.latest_checkpoint()
+    if checkpoint is None:
+        raise TrackingError(
+            f"run {run.run_id} has no checkpoint to resume from "
+            f"(status {health['status']!r}); re-run it from scratch instead"
+        )
+    optimizer = build_optimizer(
+        manifest["method"],
+        manifest["scenario"],
+        manifest["workload"],
+        manifest["preset"],
+        seed=int(manifest["seed"]),
+        time_budget_s=manifest.get("time_budget_s"),
+    )
+    load_checkpoint(optimizer, checkpoint)
+    if max_iterations is not None:
+        optimizer.config.max_iterations = max_iterations
+    completed = int(getattr(optimizer, "completed_iterations", 0))
+    if health["journal_iterations"] < completed:
+        raise TrackingError(
+            f"run {run.run_id}: checkpoint claims {completed} completed "
+            f"iterations but the journal only records "
+            f"{health['journal_iterations']}; artifacts disagree"
+        )
+    replayed = replay_iteration_records(run.journal_path)
+    if replayed[:completed] != list(optimizer.iteration_records):
+        raise TrackingError(
+            f"run {run.run_id}: journal replay disagrees with the "
+            f"checkpoint's iteration records; refusing to resume"
+        )
+    tracker = JournalTracker(
+        run, checkpoint_every=checkpoint_every, fsync=fsync, resume=True
+    )
+    optimizer.tracker = tracker
+    try:
+        result = optimizer.optimize()
+    except BaseException as error:
+        tracker.on_run_failed(optimizer, error)
+        raise
+    result.method = manifest["method"]
+    result.extras["method_requested"] = manifest["method"]
+    result.extras["scenario"] = manifest["scenario"]
+    result.extras["run_id"] = run.run_id
+    result.extras["resumed_from_iteration"] = completed
+    return result
+
+
+__all__ = [
+    "REQUIRED_MANIFEST_KEYS",
+    "replay_iteration_records",
+    "resume_run",
+    "verify_run",
+]

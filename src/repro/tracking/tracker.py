@@ -1,0 +1,343 @@
+"""Tracker hooks: how a running co-search reports itself to the outside.
+
+:class:`Tracker` is the observer interface threaded through
+:meth:`repro.core.unico.Unico.optimize`, ``Unico._run_msh``, the
+high-fidelity surrogate update and :func:`repro.experiments.harness.run_method`.
+Every hook is a no-op on the base class, so custom trackers override only
+what they need; the hot path guards event assembly behind
+:attr:`Tracker.enabled` so an untracked search pays nothing.
+
+:class:`JournalTracker` is the production implementation: it writes typed
+events into a run's :class:`~repro.tracking.journal.EventJournal`, keeps
+the run's ``manifest.json`` lifecycle up to date, and auto-checkpoints the
+optimizer every ``checkpoint_every`` completed iterations using the
+:mod:`repro.core.checkpoint` codec — the pieces ``repro runs resume``
+needs to continue a killed search.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import TrackingError
+from repro.tracking.journal import JOURNAL_VERSION, EventJournal
+from repro.tracking.store import RunHandle
+from repro.utils.records import to_jsonable
+
+
+class Tracker:
+    """Observer interface for co-search runs; every hook is optional.
+
+    ``optimizer`` is always the co-optimizer emitting the event; hooks
+    must not mutate it.  Objects in payload positions (configs,
+    evaluations, records) are *live* — serialize, don't keep.
+    """
+
+    #: hot paths skip event assembly entirely when this is False
+    enabled: bool = True
+
+    def on_run_start(self, optimizer) -> None:
+        """Called once at the top of ``optimize()`` (also on resume)."""
+
+    def on_iteration_start(self, optimizer, iteration: int) -> None:
+        """A MOBO iteration is about to sample its batch."""
+
+    def on_hw_sampled(self, optimizer, iteration: int, configs: List) -> None:
+        """The iteration's hardware batch was drawn from the sampler."""
+
+    def on_msh_round(
+        self,
+        optimizer,
+        iteration: int,
+        round_index: int,
+        cumulative_budget: int,
+        candidates: List[int],
+        tv: Dict[int, float],
+        auc: Dict[int, float],
+        survivors: List[int],
+        promoted: List[int],
+    ) -> None:
+        """One (M)SH round finished; ``promoted`` survived only via AUC."""
+
+    def on_evaluation(self, optimizer, evaluation, added: bool) -> None:
+        """A candidate's Y was assembled; ``added`` = joined the front."""
+
+    def on_surrogate_update(
+        self,
+        optimizer,
+        iteration: int,
+        scalars: np.ndarray,
+        selected: np.ndarray,
+        uul_before: float,
+        uul_after: float,
+    ) -> None:
+        """The UUL (or champion) rule accepted/rejected batch members."""
+
+    def on_iteration_end(self, optimizer, record) -> None:
+        """An :class:`~repro.core.unico.IterationRecord` was finalized."""
+
+    def on_run_end(self, optimizer, result) -> None:
+        """``optimize()`` is returning ``result``."""
+
+    def on_run_failed(self, optimizer, error: BaseException) -> None:
+        """``optimize()`` raised; the run is being abandoned."""
+
+    def close(self) -> None:
+        """Release any resources (files, sockets)."""
+
+
+class NullTracker(Tracker):
+    """The default: observes nothing, costs nothing."""
+
+    enabled = False
+
+
+class JournalTracker(Tracker):
+    """Persist a run's trajectory into its run directory.
+
+    Parameters
+    ----------
+    run:
+        The :class:`~repro.tracking.store.RunHandle` to write into.
+    checkpoint_every:
+        Auto-checkpoint period in completed iterations (``0`` disables
+        auto-checkpointing; the journal is still written).
+    fsync:
+        Flush every journal line to stable storage (see
+        :class:`~repro.tracking.journal.EventJournal`).
+    keep_last_checkpoints:
+        If set, prune all but this many newest checkpoints after each save.
+    resume:
+        Continue an existing journal's sequence numbering and announce a
+        ``resume`` event instead of ``run_start``.
+    """
+
+    def __init__(
+        self,
+        run: RunHandle,
+        checkpoint_every: int = 1,
+        fsync: bool = False,
+        keep_last_checkpoints: Optional[int] = None,
+        resume: bool = False,
+    ):
+        if checkpoint_every < 0:
+            raise TrackingError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        self.run = run
+        self.checkpoint_every = checkpoint_every
+        self.keep_last_checkpoints = keep_last_checkpoints
+        self._resuming = resume
+        if resume and run.journal_path.exists():
+            self.journal = EventJournal.open_resume(run.journal_path, fsync=fsync)
+        else:
+            self.journal = EventJournal(run.journal_path, fsync=fsync)
+
+    # ------------------------------------------------------------------ events
+    def _emit(self, optimizer, event_type: str, payload: Dict) -> None:
+        event = {"wall_time": time.time()}
+        if optimizer is not None:
+            event["time_s"] = float(optimizer.clock.now_s)
+        event.update(payload)
+        self.journal.append(event_type, event)
+
+    def _hw_payload(self, optimizer, hw) -> Dict:
+        return {str(k): to_jsonable(v) for k, v in optimizer.space.from_config(hw).items()}
+
+    def on_run_start(self, optimizer) -> None:
+        completed = int(getattr(optimizer, "completed_iterations", 0))
+        payload = {
+            "journal_version": JOURNAL_VERSION,
+            "run_id": self.run.run_id,
+            "method": optimizer.method_name,
+            "completed_iterations": completed,
+        }
+        self._emit(optimizer, "resume" if self._resuming else "run_start", payload)
+        self.run.set_status("running")
+
+    def on_iteration_start(self, optimizer, iteration: int) -> None:
+        self._emit(optimizer, "iteration_start", {"iteration": iteration})
+
+    def on_hw_sampled(self, optimizer, iteration: int, configs: List) -> None:
+        self._emit(
+            optimizer,
+            "hw_sampled",
+            {
+                "iteration": iteration,
+                "num_configs": len(configs),
+                "configs": [self._hw_payload(optimizer, hw) for hw in configs],
+            },
+        )
+
+    def on_msh_round(
+        self,
+        optimizer,
+        iteration: int,
+        round_index: int,
+        cumulative_budget: int,
+        candidates: List[int],
+        tv: Dict[int, float],
+        auc: Dict[int, float],
+        survivors: List[int],
+        promoted: List[int],
+    ) -> None:
+        self._emit(
+            optimizer,
+            "msh_round",
+            {
+                "iteration": iteration,
+                "round_index": round_index,
+                "cumulative_budget": cumulative_budget,
+                "candidates": list(candidates),
+                "tv": {str(k): to_jsonable(v) for k, v in tv.items()},
+                "auc": {str(k): to_jsonable(v) for k, v in auc.items()},
+                "survivors": list(survivors),
+                "auc_promoted": list(promoted),
+            },
+        )
+
+    def on_evaluation(self, optimizer, evaluation, added: bool) -> None:
+        self._emit(
+            optimizer,
+            "evaluation",
+            {
+                "hw": self._hw_payload(optimizer, evaluation.hw),
+                "objectives": to_jsonable(evaluation.objectives),
+                "feasible": bool(evaluation.feasible),
+                "added_to_pareto": bool(added),
+            },
+        )
+        if added:
+            self._emit(
+                optimizer,
+                "pareto_update",
+                {
+                    "pareto_size": len(optimizer.pareto),
+                    "point": to_jsonable(evaluation.ppa_vector),
+                },
+            )
+
+    def on_surrogate_update(
+        self,
+        optimizer,
+        iteration: int,
+        scalars: np.ndarray,
+        selected: np.ndarray,
+        uul_before: float,
+        uul_after: float,
+    ) -> None:
+        self._emit(
+            optimizer,
+            "surrogate_update",
+            {
+                "iteration": iteration,
+                "rule": type(optimizer.selector).__name__,
+                "scalars": to_jsonable(scalars),
+                "accepted": [int(i) for i in np.flatnonzero(selected)],
+                "rejected": [int(i) for i in np.flatnonzero(~np.asarray(selected))],
+                "uul_before": to_jsonable(uul_before),
+                "uul_after": to_jsonable(uul_after),
+                "best_scalar": to_jsonable(optimizer.selector.best_scalar)
+                if hasattr(optimizer.selector, "best_scalar")
+                else None,
+            },
+        )
+
+    def on_iteration_end(self, optimizer, record) -> None:
+        self._emit(
+            optimizer,
+            "iteration_end",
+            {
+                "iteration": record.iteration,
+                "record": {
+                    "iteration": record.iteration,
+                    "time_s": record.time_s,
+                    "uul": to_jsonable(record.uul),
+                    "num_selected": record.num_selected,
+                    "num_feasible": record.num_feasible,
+                    "pareto_size": record.pareto_size,
+                    "best_scalar": to_jsonable(record.best_scalar),
+                },
+            },
+        )
+        completed = int(getattr(optimizer, "completed_iterations", 0))
+        if self.checkpoint_every and completed % self.checkpoint_every == 0:
+            self.checkpoint(optimizer)
+
+    def checkpoint(self, optimizer) -> None:
+        """Write a checkpoint for the optimizer's current completed count.
+
+        Only optimizers speaking the :mod:`repro.core.checkpoint` codec
+        (Unico and its ablation variants) are checkpointable; for other
+        methods the journal is still written but no checkpoint appears,
+        and ``repro runs resume`` will refuse the run.
+        """
+        from repro.core.checkpoint import save_checkpoint
+
+        if not all(
+            hasattr(optimizer, attr)
+            for attr in ("sampler", "normalizer", "train_configs",
+                         "completed_iterations")
+        ):
+            return
+        completed = int(getattr(optimizer, "completed_iterations", 0))
+        path = self.run.checkpoint_path(completed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save_checkpoint(optimizer, path)
+        self._emit(
+            optimizer,
+            "checkpoint",
+            {"completed_iterations": completed, "path": path.name},
+        )
+        if self.keep_last_checkpoints is not None:
+            self.run.prune_checkpoints(self.keep_last_checkpoints)
+
+    def engine_snapshot(self, optimizer) -> None:
+        """Journal the engine + metrics + runner state (observability)."""
+        payload: Dict = {}
+        engine = getattr(optimizer, "engine", None)
+        if engine is not None and hasattr(engine, "stats"):
+            payload["engine"] = to_jsonable(engine.stats())
+        metrics = getattr(engine, "metrics", None)
+        if metrics is not None and hasattr(metrics, "summary"):
+            payload["metrics"] = metrics.summary()
+        runner = getattr(optimizer, "runner", None)
+        if runner is not None and hasattr(runner, "stats"):
+            payload["runner"] = to_jsonable(runner.stats())
+        self._emit(optimizer, "engine_snapshot", payload)
+
+    def on_run_end(self, optimizer, result) -> None:
+        self.engine_snapshot(optimizer)
+        self._emit(
+            optimizer,
+            "run_end",
+            {
+                "completed_iterations": int(
+                    getattr(optimizer, "completed_iterations", 0)
+                ),
+                "total_hw_evaluated": result.total_hw_evaluated,
+                "total_engine_queries": result.total_engine_queries,
+                "total_time_s": result.total_time_s,
+                "pareto_size": len(result.pareto),
+            },
+        )
+        self.run.set_status(
+            "completed",
+            total_time_s=result.total_time_s,
+            total_hw_evaluated=result.total_hw_evaluated,
+            pareto_size=len(result.pareto),
+        )
+        self.close()
+
+    def on_run_failed(self, optimizer, error: BaseException) -> None:
+        self.run.set_status("failed", error=f"{type(error).__name__}: {error}")
+        self.close()
+
+    def close(self) -> None:
+        self.journal.close()
+
+
+__all__ = ["JournalTracker", "NullTracker", "Tracker"]

@@ -226,6 +226,25 @@ class MetricsRegistry:
             },
         }
 
+    def summary(self) -> Dict:
+        """Compact snapshot: counters plus count/mean/max per histogram.
+
+        Event journals embed this instead of :meth:`snapshot` — per-run
+        trajectories want the headline numbers, not every bucket.
+        """
+        snap = self.snapshot()
+        return {
+            "counters": snap["counters"],
+            "histograms": {
+                name: {
+                    "count": hist["count"],
+                    "mean": hist["mean"],
+                    "max": hist["max"],
+                }
+                for name, hist in snap["histograms"].items()
+            },
+        }
+
     def render_text(self) -> str:
         """Prometheus-style plain-text exposition of the registry."""
         lines: List[str] = []

@@ -29,7 +29,8 @@ def _fresh(tiny_network, edge_space, max_iterations=4, include_robustness=True):
 class TestCheckpointRoundTrip:
     def test_resume_equals_uninterrupted(self, tiny_network, edge_space, tmp_path):
         """2 iterations + checkpoint + 2 resumed iterations evaluates the
-        same batches as 4 uninterrupted iterations."""
+        same batches as 4 uninterrupted iterations — identical Pareto
+        front, timeline and iteration-record sequence (serial backend)."""
         path = tmp_path / "ckpt.json"
         straight = _fresh(tiny_network, edge_space, max_iterations=4)
         straight_result = straight.optimize()
@@ -49,6 +50,39 @@ class TestCheckpointRoundTrip:
         assert resumed_result.total_time_s == pytest.approx(
             straight_result.total_time_s, rel=1e-9
         )
+        assert len(resumed_result.timeline) == len(straight_result.timeline)
+        for ours, theirs in zip(resumed_result.timeline, straight_result.timeline):
+            assert ours.time_s == pytest.approx(theirs.time_s)
+            assert ours.feasible == theirs.feasible
+            assert np.allclose(ours.ppa_vector, theirs.ppa_vector)
+        assert resumed_result.extras["iteration_records"] == (
+            straight_result.extras["iteration_records"]
+        )
+
+    def test_repeated_save_load_keeps_budget(
+        self, tiny_network, edge_space, tmp_path
+    ):
+        """Loading must not erode ``config.max_iterations``: completed
+        iterations are tracked on the optimizer instead."""
+        path = tmp_path / "ckpt.json"
+        original = _fresh(tiny_network, edge_space, max_iterations=2)
+        original.optimize()
+        save_checkpoint(original, path)
+
+        current = _fresh(tiny_network, edge_space, max_iterations=4)
+        for _ in range(3):  # repeated save/load cycles, no run in between
+            load_checkpoint(current, path)
+            assert current.config.max_iterations == 4
+            assert current.completed_iterations == 2
+            save_checkpoint(current, path)
+            current = _fresh(tiny_network, edge_space, max_iterations=4)
+        load_checkpoint(current, path)
+        result = current.optimize()
+        # the two remaining iterations actually ran
+        assert len(result.extras["iteration_records"]) == 4
+        assert [r.iteration for r in result.extras["iteration_records"]] == [
+            0, 1, 2, 3,
+        ]
 
     def test_training_set_restored(self, tiny_network, edge_space, tmp_path):
         path = tmp_path / "ckpt.json"
@@ -107,3 +141,73 @@ class TestCheckpointRoundTrip:
         fresh = _fresh(tiny_network, edge_space)
         with pytest.raises(ConfigurationError):
             load_checkpoint(fresh, path)
+
+
+class TestRobustnessSerialization:
+    def test_v2_round_trips_full_robustness(
+        self, tiny_network, edge_space, tmp_path
+    ):
+        """v2 keeps delta/theta and the sub-optimal PPA — no placeholders."""
+        path = tmp_path / "ckpt.json"
+        original = _fresh(tiny_network, edge_space, max_iterations=2)
+        original.optimize()
+        save_checkpoint(original, path)
+        restored = _fresh(tiny_network, edge_space, max_iterations=2)
+        load_checkpoint(restored, path)
+
+        def by_point(unico):
+            return {
+                tuple(point): design.robustness
+                for design, point in zip(unico.pareto.items, unico.pareto.points)
+            }
+
+        original_map, restored_map = by_point(original), by_point(restored)
+        assert original_map.keys() == restored_map.keys()
+        for key, theirs in original_map.items():
+            ours = restored_map[key]
+            assert ours.r_value == pytest.approx(theirs.r_value)
+            assert ours.delta == pytest.approx(theirs.delta)
+            assert ours.theta == pytest.approx(theirs.theta)
+            assert ours.suboptimal_latency_s == pytest.approx(
+                theirs.suboptimal_latency_s
+            )
+            assert ours.suboptimal_power_w == pytest.approx(
+                theirs.suboptimal_power_w
+            )
+
+    def test_v1_still_readable_with_placeholder_geometry(
+        self, tiny_network, edge_space, tmp_path
+    ):
+        import json
+
+        path = tmp_path / "ckpt.json"
+        original = _fresh(tiny_network, edge_space, max_iterations=2)
+        original.optimize()
+        save_checkpoint(original, path)
+        # rewrite the file as a faithful v1 document
+        payload = json.loads(path.read_text())
+        payload["version"] = 1
+        payload.pop("completed_iterations")
+        for design in payload["pareto"]:
+            design.pop("robustness")
+        path.write_text(json.dumps(payload))
+
+        restored = _fresh(tiny_network, edge_space, max_iterations=4)
+        load_checkpoint(restored, path)
+        assert restored.completed_iterations == 2
+        assert restored.config.max_iterations == 4
+        for design in restored.pareto.items:
+            # the historical v1 placeholder geometry
+            assert design.robustness.delta == design.robustness.r_value
+            assert design.robustness.theta == pytest.approx(np.pi / 2)
+            assert (
+                design.robustness.suboptimal_latency_s
+                == design.robustness.optimal_latency_s
+            )
+
+    def test_save_leaves_no_temp_file(self, tiny_network, edge_space, tmp_path):
+        path = tmp_path / "ckpt.json"
+        original = _fresh(tiny_network, edge_space, max_iterations=1)
+        original.optimize()
+        save_checkpoint(original, path)
+        assert not list(tmp_path.glob("*.tmp"))

@@ -1,0 +1,148 @@
+"""Tests for the crash-safe JSONL event journal."""
+
+import json
+
+import pytest
+
+from repro.errors import TrackingError
+from repro.tracking.journal import (
+    EventJournal,
+    read_events,
+    verify_sequence,
+)
+
+
+class TestAppendRead:
+    def test_round_trip_preserves_order_and_seq(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with EventJournal(path) as journal:
+            for i in range(5):
+                seq = journal.append("iteration_start", {"iteration": i})
+                assert seq == i
+        scan = read_events(path)
+        assert len(scan.events) == 5
+        assert [e["seq"] for e in scan.events] == list(range(5))
+        assert [e["iteration"] for e in scan.events] == list(range(5))
+        assert scan.last_seq == 4
+        assert not scan.truncated_tail
+        verify_sequence(scan)
+
+    def test_unknown_event_type_rejected(self, tmp_path):
+        journal = EventJournal(tmp_path / "j.jsonl")
+        with pytest.raises(TrackingError):
+            journal.append("made_up_event", {})
+
+    def test_numpy_payloads_serialize(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "j.jsonl"
+        with EventJournal(path) as journal:
+            journal.append(
+                "evaluation",
+                {"objectives": np.array([1.5, 2.5]), "count": np.int64(3)},
+            )
+        event = read_events(path).events[0]
+        assert event["objectives"] == [1.5, 2.5]
+        assert event["count"] == 3
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TrackingError):
+            read_events(tmp_path / "nope.jsonl")
+
+
+class TestCrashSafety:
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with EventJournal(path) as journal:
+            journal.append("run_start", {"a": 1})
+            journal.append("iteration_start", {"iteration": 0})
+        # simulate a kill mid-write: a partial line with no newline
+        with open(path, "ab") as handle:
+            handle.write(b'{"seq": 2, "type": "iterati')
+        scan = read_events(path)
+        assert len(scan.events) == 2
+        assert scan.truncated_tail
+        verify_sequence(scan)
+
+    def test_corrupt_middle_line_stops_scan(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        lines = [
+            json.dumps({"seq": 0, "type": "run_start"}),
+            "{not json at all",
+            json.dumps({"seq": 2, "type": "run_end"}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        scan = read_events(path)
+        assert len(scan.events) == 1
+        assert scan.truncated_tail
+
+    def test_append_is_one_complete_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with EventJournal(path) as journal:
+            journal.append("run_start", {"x": "y"})
+        raw = path.read_bytes()
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+
+    def test_fsync_mode_writes_identically(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with EventJournal(path, fsync=True) as journal:
+            journal.append("run_start", {})
+        assert len(read_events(path).events) == 1
+
+
+class TestResumeSequencing:
+    def test_open_resume_continues_seq(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with EventJournal(path) as journal:
+            journal.append("run_start", {})
+            journal.append("iteration_start", {"iteration": 0})
+        with EventJournal.open_resume(path) as journal:
+            seq = journal.append("resume", {})
+        assert seq == 2
+        scan = read_events(path)
+        verify_sequence(scan)
+        assert scan.events[-1]["type"] == "resume"
+
+    def test_open_resume_skips_truncated_tail_seq(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with EventJournal(path) as journal:
+            journal.append("run_start", {})
+        with open(path, "ab") as handle:
+            handle.write(b'{"seq": 1, "type": "run_e')
+        with EventJournal.open_resume(path) as journal:
+            assert journal.append("resume", {}) == 1
+
+    def test_verify_sequence_rejects_gap(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            json.dumps({"seq": 0, "type": "run_start"})
+            + "\n"
+            + json.dumps({"seq": 5, "type": "run_end"})
+            + "\n"
+        )
+        with pytest.raises(TrackingError):
+            verify_sequence(read_events(path))
+
+
+class TestConcurrency:
+    def test_threaded_appends_interleave_whole_lines(self, tmp_path):
+        import threading
+
+        path = tmp_path / "j.jsonl"
+        journal = EventJournal(path)
+
+        def writer(tag):
+            for _ in range(50):
+                journal.append("evaluation", {"tag": tag, "pad": "x" * 200})
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        journal.close()
+        scan = read_events(path)
+        assert len(scan.events) == 200
+        assert not scan.truncated_tail
+        verify_sequence(scan)

@@ -1,0 +1,243 @@
+"""Tracker integration + crash/resume equivalence (the acceptance bar).
+
+The key property: a tracked run killed mid-search and resumed via
+``resume_run`` reproduces the same Pareto front, timeline and
+iteration-record sequence as the same-seed uninterrupted run, and its
+journal replays into the identical record sequence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Unico, UnicoConfig
+from repro.costmodel import MaestroEngine
+from repro.errors import TrackingError
+from repro.experiments.harness import run_method
+from repro.tracking import (
+    JournalTracker,
+    NullTracker,
+    RunStore,
+    read_events,
+    replay_iteration_records,
+    resume_run,
+    verify_run,
+)
+
+WORKLOAD = "mobilenet"
+MANIFEST = {
+    "method": "unico",
+    "scenario": "edge",
+    "workload": WORKLOAD,
+    "preset": "smoke",
+    "seed": 11,
+}
+
+
+def _fresh_unico(tiny_network, edge_space, tracker=None, max_iterations=2):
+    engine = MaestroEngine(tiny_network)
+    return Unico(
+        edge_space,
+        tiny_network,
+        engine,
+        UnicoConfig(batch_size=4, max_iterations=max_iterations, max_budget=16),
+        power_cap_w=100.0,
+        seed=5,
+        tracker=tracker,
+    )
+
+
+class _KillAfter(JournalTracker):
+    """Simulates a crash: journals normally, then dies mid-search."""
+
+    def __init__(self, run, iterations, **kwargs):
+        super().__init__(run, **kwargs)
+        self._die_at = iterations
+
+    def on_iteration_end(self, optimizer, record):
+        super().on_iteration_end(optimizer, record)
+        if optimizer.completed_iterations >= self._die_at:
+            raise KeyboardInterrupt("simulated kill")
+
+
+def _timelines_equal(a, b):
+    if len(a) != len(b):
+        return False
+    return all(
+        x.time_s == pytest.approx(y.time_s)
+        and x.feasible == y.feasible
+        and np.allclose(x.ppa_vector, y.ppa_vector)
+        for x, y in zip(a, b)
+    )
+
+
+class TestJournalTracker:
+    def test_tracked_run_leaves_full_artifacts(
+        self, tiny_network, edge_space, tmp_path
+    ):
+        store = RunStore(tmp_path / "runs")
+        run = store.create_run(dict(MANIFEST))
+        unico = _fresh_unico(
+            tiny_network, edge_space, tracker=JournalTracker(run)
+        )
+        result = unico.optimize()
+        assert run.status == "completed"
+        assert len(run.checkpoints()) == 2
+        scan = read_events(run.journal_path)
+        types = {e["type"] for e in scan.events}
+        assert {
+            "run_start",
+            "iteration_start",
+            "hw_sampled",
+            "msh_round",
+            "evaluation",
+            "surrogate_update",
+            "checkpoint",
+            "iteration_end",
+            "engine_snapshot",
+            "run_end",
+        } <= types
+        # every sampled batch is journaled with decodable configs
+        sampled = [e for e in scan.events if e["type"] == "hw_sampled"]
+        assert sum(e["num_configs"] for e in sampled) == result.total_hw_evaluated
+        for event in sampled:
+            for payload in event["configs"]:
+                edge_space.to_config(dict(payload))  # must not raise
+        # replayed records match the in-memory ones exactly
+        assert (
+            replay_iteration_records(run.journal_path)
+            == result.extras["iteration_records"]
+        )
+
+    def test_tracking_does_not_perturb_search(
+        self, tiny_network, edge_space, tmp_path
+    ):
+        untracked = _fresh_unico(tiny_network, edge_space, tracker=NullTracker())
+        plain = untracked.optimize()
+        run = RunStore(tmp_path / "runs").create_run(dict(MANIFEST))
+        tracked = _fresh_unico(
+            tiny_network, edge_space, tracker=JournalTracker(run)
+        ).optimize()
+        assert sorted(map(tuple, plain.pareto.points.tolist())) == sorted(
+            map(tuple, tracked.pareto.points.tolist())
+        )
+        assert plain.total_time_s == pytest.approx(tracked.total_time_s)
+
+    def test_checkpoint_every_zero_journals_only(
+        self, tiny_network, edge_space, tmp_path
+    ):
+        run = RunStore(tmp_path / "runs").create_run(dict(MANIFEST))
+        tracker = JournalTracker(run, checkpoint_every=0)
+        _fresh_unico(tiny_network, edge_space, tracker=tracker).optimize()
+        assert run.checkpoints() == []
+        assert len(read_events(run.journal_path).events) > 0
+
+    def test_keep_last_checkpoints_prunes(
+        self, tiny_network, edge_space, tmp_path
+    ):
+        run = RunStore(tmp_path / "runs").create_run(dict(MANIFEST))
+        tracker = JournalTracker(run, keep_last_checkpoints=1)
+        _fresh_unico(
+            tiny_network, edge_space, tracker=tracker, max_iterations=3
+        ).optimize()
+        assert [p.name for p in run.checkpoints()] == ["ckpt-000003.json"]
+
+
+class TestKillResumeEquivalence:
+    def test_resume_matches_uninterrupted(self, tmp_path):
+        straight = run_method("unico", "edge", WORKLOAD, "smoke", seed=11)
+
+        store = RunStore(tmp_path / "runs")
+        run = store.create_run(dict(MANIFEST))
+        with pytest.raises(KeyboardInterrupt):
+            run_method(
+                "unico", "edge", WORKLOAD, "smoke", seed=11,
+                tracker=_KillAfter(run, iterations=1),
+            )
+        assert run.status == "failed"
+        health = verify_run(run)
+        assert health["journal_iterations"] == 1
+        assert health["latest_checkpoint"] == "ckpt-000001.json"
+
+        resumed = resume_run(run)
+        assert run.status == "completed"
+        assert resumed.extras["resumed_from_iteration"] == 1
+        assert resumed.total_hw_evaluated == straight.total_hw_evaluated
+        assert sorted(map(tuple, resumed.pareto.points.tolist())) == sorted(
+            map(tuple, straight.pareto.points.tolist())
+        )
+        assert _timelines_equal(resumed.timeline, straight.timeline)
+        assert resumed.total_time_s == pytest.approx(straight.total_time_s)
+        # journal replay = the uninterrupted iteration-record sequence
+        assert (
+            replay_iteration_records(run.journal_path)
+            == straight.extras["iteration_records"]
+        )
+
+    def test_resume_reexecutes_iteration_when_checkpoint_lags(self, tmp_path):
+        """A kill between iteration_end and its checkpoint leaves the
+        journal one iteration ahead; replay keeps the latest record."""
+        straight = run_method("unico", "edge", WORKLOAD, "smoke", seed=11)
+
+        run = RunStore(tmp_path / "runs").create_run(dict(MANIFEST))
+        run_method(
+            "unico", "edge", WORKLOAD, "smoke", seed=11,
+            tracker=JournalTracker(run),
+        )
+        checkpoints = run.checkpoints()
+        assert len(checkpoints) == 2
+        checkpoints[-1].unlink()  # now the journal is ahead of the checkpoint
+
+        resumed = resume_run(run)
+        assert resumed.extras["resumed_from_iteration"] == 1
+        assert sorted(map(tuple, resumed.pareto.points.tolist())) == sorted(
+            map(tuple, straight.pareto.points.tolist())
+        )
+        replayed = replay_iteration_records(run.journal_path)
+        assert replayed == straight.extras["iteration_records"]
+
+
+class TestResumeRefusals:
+    def test_resume_requires_checkpoint(self, tmp_path):
+        run = RunStore(tmp_path / "runs").create_run(dict(MANIFEST))
+        run_method(
+            "unico", "edge", WORKLOAD, "smoke", seed=11,
+            tracker=JournalTracker(run, checkpoint_every=0),
+        )
+        with pytest.raises(TrackingError, match="no checkpoint"):
+            resume_run(run)
+
+    def test_resume_requires_manifest_keys(self, tmp_path):
+        run = RunStore(tmp_path / "runs").create_run({"method": "unico"})
+        run.journal_path.write_text("")
+        with pytest.raises(TrackingError, match="manifest lacks"):
+            resume_run(run)
+
+    def test_resume_rejects_tampered_journal(self, tmp_path):
+        import json
+
+        run = RunStore(tmp_path / "runs").create_run(dict(MANIFEST))
+        run_method(
+            "unico", "edge", WORKLOAD, "smoke", seed=11,
+            tracker=JournalTracker(run),
+        )
+        # rewrite an iteration_end record so it disagrees with checkpoints
+        lines = run.journal_path.read_text().splitlines()
+        edited = []
+        for line in lines:
+            event = json.loads(line)
+            if event["type"] == "iteration_end" and event["iteration"] == 0:
+                event["record"]["pareto_size"] += 7
+            edited.append(json.dumps(event))
+        run.journal_path.write_text("\n".join(edited) + "\n")
+        with pytest.raises(TrackingError, match="replay disagrees"):
+            resume_run(run)
+
+    def test_verify_run_reports_truncation(self, tmp_path):
+        run = RunStore(tmp_path / "runs").create_run(dict(MANIFEST))
+        run_method(
+            "unico", "edge", WORKLOAD, "smoke", seed=11,
+            tracker=JournalTracker(run),
+        )
+        with open(run.journal_path, "ab") as handle:
+            handle.write(b'{"seq": 999, "type": "part')
+        assert verify_run(run)["truncated_tail"] is True
