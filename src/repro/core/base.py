@@ -91,6 +91,12 @@ class CoOptimizer(ABC):
     """Base class: trial construction, recording, and clock plumbing."""
 
     method_name = "base"
+    #: whether this optimizer's ``optimize()`` drives the tracker's
+    #: run/iteration lifecycle hooks itself (run_start, iteration_*,
+    #: run_end).  The harness emits run_start/run_end on behalf of
+    #: optimizers that don't, so tracked baseline runs still reach a
+    #: terminal manifest status.
+    emits_lifecycle_events = False
 
     def __init__(
         self,

@@ -36,7 +36,12 @@ from repro.core.runner import JobRunner
 from repro.errors import ConfigurationError
 from repro.optim.mobo import MOBOSampler
 from repro.optim.pareto import ObjectiveNormalizer
-from repro.optim.sh import plan_rounds, relative_auc_score, select_survivors, terminal_value
+from repro.optim.sh import (
+    plan_rounds,
+    relative_auc_score,
+    select_survivors_detailed,
+    terminal_value,
+)
 
 SURROGATE_UPDATES = ("high_fidelity", "champion")
 
@@ -120,6 +125,8 @@ class Unico(CoOptimizer):
     """The UNICO co-optimizer."""
 
     method_name = "unico"
+    # optimize() drives run_start/iteration_*/run_end itself
+    emits_lifecycle_events = True
 
     def __init__(self, space, network, engine, config: Optional[UnicoConfig] = None, **kwargs):
         config = config or UnicoConfig()
@@ -236,11 +243,10 @@ class Unico(CoOptimizer):
                 )
             tv = {i: terminal_value(trials[i].best_curve()) for i in active}
             auc = {i: relative_auc_score(trials[i].best_curve()) for i in active}
-            survivors = select_survivors(active, tv, auc, keep, promotions)
+            survivors, promoted = select_survivors_detailed(
+                active, tv, auc, keep, promotions
+            )
             if self.tracker.enabled:
-                # candidates that outlived a better-TV rival owe it to AUC
-                pure_tv = set(sorted(active, key=lambda i: (tv[i], i))[:keep])
-                promoted = [i for i in survivors if i not in pure_tv]
                 self.tracker.on_msh_round(
                     self,
                     self._current_iteration,

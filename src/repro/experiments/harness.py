@@ -237,8 +237,17 @@ def run_method(
     ``run_store`` (a :class:`~repro.tracking.RunStore` or a directory
     path) to allocate a ``runs/<run-id>/`` directory with a manifest,
     journal and periodic checkpoints; the run id lands in
-    ``result.extras["run_id"]``.
+    ``result.extras["run_id"]``.  Passing both is ambiguous and rejected.
+    Methods whose ``optimize()`` does not drive the tracker lifecycle
+    itself (the non-UNICO baselines) get ``run_start`` / ``run_end``
+    emitted by the harness, so their manifests still reach a terminal
+    status.
     """
+    if tracker is not None and run_store is not None:
+        raise ConfigurationError(
+            "pass either tracker= or run_store=, not both; run_store builds "
+            "its own JournalTracker and would silently ignore the tracker"
+        )
     optimizer = build_optimizer(
         method, scenario, workload, preset, seed=seed, time_budget_s=time_budget_s
     )
@@ -250,13 +259,16 @@ def run_method(
         from repro.utils.records import to_jsonable
 
         store = run_store if isinstance(run_store, RunStore) else RunStore(run_store)
-        preset_name = preset if isinstance(preset, str) else preset.name
+        preset_obj = get_preset(preset) if isinstance(preset, str) else preset
         run = store.create_run(
             {
                 "method": method,
                 "scenario": scenario,
                 "workload": _workload_name(workload),
-                "preset": preset_name,
+                "preset": preset_obj.name,
+                # full parameters so resume never depends on the name being
+                # registered (custom Preset objects are legal inputs)
+                "preset_params": to_jsonable(dataclasses.asdict(preset_obj)),
                 "seed": seed,
                 "time_budget_s": time_budget_s,
                 "space": optimizer.space.name,
@@ -267,12 +279,19 @@ def run_method(
         tracker = JournalTracker(run, checkpoint_every=checkpoint_every)
     if tracker is not None:
         optimizer.tracker = tracker
+    harness_lifecycle = (
+        tracker is not None and not optimizer.emits_lifecycle_events
+    )
     try:
+        if harness_lifecycle:
+            tracker.on_run_start(optimizer)
         result = optimizer.optimize()
     except BaseException as error:
         if tracker is not None:
             tracker.on_run_failed(optimizer, error)
         raise
+    if harness_lifecycle:
+        tracker.on_run_end(optimizer, result)
     result.extras["method_requested"] = method
     result.extras["scenario"] = scenario
     if run is not None:

@@ -50,6 +50,7 @@ from repro.optim.sh import (
     relative_auc_score,
     run_successive_halving,
     select_survivors,
+    select_survivors_detailed,
     terminal_value,
 )
 
@@ -95,5 +96,6 @@ __all__ = [
     "plan_rounds",
     "run_successive_halving",
     "select_survivors",
+    "select_survivors_detailed",
     "terminal_value",
 ]

@@ -142,6 +142,26 @@ def select_survivors(
     ``auc_promotions = 0`` degenerates to default SH.  The returned list
     preserves TV ordering first, then AUC promotions.
     """
+    survivors, _promoted = select_survivors_detailed(
+        candidate_ids, tv_by_id, auc_by_id, keep, auc_promotions
+    )
+    return survivors
+
+
+def select_survivors_detailed(
+    candidate_ids: Sequence[int],
+    tv_by_id: Dict[int, float],
+    auc_by_id: Dict[int, float],
+    keep: int,
+    auc_promotions: int,
+) -> Tuple[List[int], List[int]]:
+    """Like :func:`select_survivors`, also reporting the AUC promotions.
+
+    Returns ``(survivors, promoted)`` where ``promoted`` is exactly the
+    subset of survivors admitted through the AUC channel rather than the
+    TV cutoff — the ground truth for attribution (journaling), instead of
+    a re-derivation against some other TV cutoff.
+    """
     ids = list(candidate_ids)
     if keep < 0 or auc_promotions < 0:
         raise SearchBudgetError("keep and auc_promotions must be non-negative")
@@ -150,7 +170,7 @@ def select_survivors(
             f"auc_promotions ({auc_promotions}) cannot exceed keep ({keep})"
         )
     if keep >= len(ids):
-        return ids
+        return ids, []
     by_tv = sorted(ids, key=lambda i: (tv_by_id[i], i))
     tv_selected = by_tv[: keep - auc_promotions]
     selected_set = set(tv_selected)
@@ -169,7 +189,7 @@ def select_survivors(
         if candidate not in selected_set:
             tv_selected.append(candidate)
             selected_set.add(candidate)
-    return tv_selected + auc_selected
+    return tv_selected + auc_selected, auc_selected
 
 
 def run_successive_halving(

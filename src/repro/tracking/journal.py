@@ -64,6 +64,9 @@ class JournalScan:
     #: bytes of a trailing partial/corrupt line (crash artifact), if any
     truncated_tail: bool = False
     last_seq: int = -1
+    #: byte offset just past the last complete, parseable line — the safe
+    #: truncation point when reopening a crash-damaged journal for append
+    valid_bytes: int = 0
 
     def of_type(self, event_type: str) -> List[Dict]:
         return [e for e in self.events if e.get("type") == event_type]
@@ -94,8 +97,17 @@ class EventJournal:
     def open_resume(
         cls, path: Union[str, pathlib.Path], fsync: bool = False
     ) -> "EventJournal":
-        """Open an existing journal, continuing its sequence numbering."""
+        """Open an existing journal, continuing its sequence numbering.
+
+        If the journal carries crash damage (a partial final line, or
+        corruption that :func:`read_events` would stop at), the file is
+        first truncated back to the end of its last complete line —
+        otherwise the next ``O_APPEND`` write would weld onto the partial
+        bytes and form one malformed line, poisoning every later event.
+        """
         scan = read_events(path)
+        if scan.truncated_tail:
+            os.truncate(str(path), scan.valid_bytes)
         return cls(path, fsync=fsync, _next_seq=scan.last_seq + 1)
 
     # ------------------------------------------------------------------ write
@@ -179,6 +191,7 @@ def read_events(path: Union[str, pathlib.Path]) -> JournalScan:
         scan.truncated_tail = True
     for line in complete:
         if not line.strip():
+            scan.valid_bytes += len(line) + 1
             continue
         try:
             event = json.loads(line.decode("utf-8"))
@@ -187,6 +200,7 @@ def read_events(path: Union[str, pathlib.Path]) -> JournalScan:
             scan.truncated_tail = True
             break
         scan.events.append(event)
+        scan.valid_bytes += len(line) + 1
     if scan.events:
         scan.last_seq = int(scan.events[-1].get("seq", len(scan.events) - 1))
     return scan

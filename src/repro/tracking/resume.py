@@ -67,6 +67,25 @@ def replay_iteration_records(
     return [by_iteration[i] for i in sorted(by_iteration)]
 
 
+def _manifest_preset(manifest: Dict):
+    """The preset to rebuild with: full recorded parameters if available.
+
+    ``run_method`` persists ``preset_params`` alongside the name, so runs
+    tracked with a custom (unregistered) :class:`Preset` object stay
+    resumable; older manifests fall back to name lookup.
+    """
+    params = manifest.get("preset_params")
+    if isinstance(params, dict):
+        import dataclasses
+
+        from repro.experiments.presets import Preset
+
+        field_names = [f.name for f in dataclasses.fields(Preset)]
+        if all(name in params for name in field_names):
+            return Preset(**{name: params[name] for name in field_names})
+    return manifest["preset"]
+
+
 def verify_run(run: RunHandle) -> Dict:
     """Structural consistency check of one run directory.
 
@@ -137,7 +156,7 @@ def resume_run(
         manifest["method"],
         manifest["scenario"],
         manifest["workload"],
-        manifest["preset"],
+        _manifest_preset(manifest),
         seed=int(manifest["seed"]),
         time_budget_s=manifest.get("time_budget_s"),
     )

@@ -12,6 +12,7 @@ from repro.optim.sh import (
     relative_auc_score,
     run_successive_halving,
     select_survivors,
+    select_survivors_detailed,
     terminal_value,
 )
 
@@ -132,6 +133,38 @@ class TestSelectSurvivors:
         with pytest.raises(SearchBudgetError):
             select_survivors(range(4), self.TV, {i: 0 for i in range(4)}, 2, 3)
 
+    def test_detailed_reports_auc_channel(self):
+        auc = {i: 0.0 for i in range(6)}
+        auc[5] = 99.0
+        survivors, promoted = select_survivors_detailed(
+            range(6), self.TV, auc, keep=3, auc_promotions=1
+        )
+        assert survivors == [0, 1, 5]
+        assert promoted == [5]
+
+    def test_detailed_promoted_even_when_tv_rank_inside_keep(self):
+        """A candidate at TV rank between keep-p and keep that enters via
+        the AUC slot is still an AUC promotion — the decision, not a
+        re-derivation against the keep cutoff, is what gets reported."""
+        auc = {i: 0.0 for i in range(6)}
+        auc[2] = 99.0  # TV rank 2 (< keep=3) but selected through AUC
+        survivors, promoted = select_survivors_detailed(
+            range(6), self.TV, auc, keep=3, auc_promotions=1
+        )
+        assert survivors == [0, 1, 2]
+        assert promoted == [2]
+
+    def test_detailed_backfill_is_not_promotion(self):
+        """When AUC cannot supply fresh candidates, TV backfill fills the
+        quota and no promotion is attributed."""
+        tv = {i: float(i) for i in range(3)}
+        auc = {i: 0.0 for i in range(3)}
+        survivors, promoted = select_survivors_detailed(
+            range(3), tv, auc, keep=5, auc_promotions=1
+        )
+        assert survivors == [0, 1, 2]
+        assert promoted == []
+
     @given(
         st.integers(2, 20),
         st.integers(1, 10),
@@ -144,13 +177,19 @@ class TestSelectSurvivors:
         rng = np.random.default_rng(seed)
         tv = {i: float(rng.uniform(0, 10)) for i in range(n)}
         auc = {i: float(rng.uniform(0, 10)) for i in range(n)}
-        survivors = select_survivors(range(n), tv, auc, keep, promotions)
+        survivors, promoted = select_survivors_detailed(
+            range(n), tv, auc, keep, promotions
+        )
         assert len(survivors) == min(keep, n)
         assert len(set(survivors)) == len(survivors)
+        assert set(promoted) <= set(survivors)
+        assert len(promoted) <= promotions
+        assert select_survivors(range(n), tv, auc, keep, promotions) == survivors
         if keep < n and promotions == 0:
             # pure TV: survivors are exactly the TV-best
             best = sorted(range(n), key=lambda i: (tv[i], i))[:keep]
             assert sorted(survivors) == sorted(best)
+            assert promoted == []
 
 
 class _FakeTrial:

@@ -113,6 +113,44 @@ class TestResumeSequencing:
         with EventJournal.open_resume(path) as journal:
             assert journal.append("resume", {}) == 1
 
+    def test_open_resume_truncates_partial_tail_before_append(self, tmp_path):
+        """Post-resume appends must not weld onto crash-partial bytes —
+        the journal has to be fully readable again afterwards."""
+        path = tmp_path / "j.jsonl"
+        with EventJournal(path) as journal:
+            journal.append("run_start", {})
+            journal.append("iteration_start", {"iteration": 0})
+        with open(path, "ab") as handle:
+            handle.write(b'{"seq": 2, "type": "iterati')
+        with EventJournal.open_resume(path) as journal:
+            journal.append("resume", {})
+            journal.append("iteration_start", {"iteration": 1})
+        scan = read_events(path)
+        assert not scan.truncated_tail
+        assert [e["type"] for e in scan.events] == [
+            "run_start",
+            "iteration_start",
+            "resume",
+            "iteration_start",
+        ]
+        verify_sequence(scan)
+
+    def test_open_resume_truncates_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with EventJournal(path) as journal:
+            journal.append("run_start", {})
+        with open(path, "ab") as handle:
+            handle.write(b"{garbage line\n")
+            handle.write(
+                b'{"seq": 99, "type": "run_end"}\n'
+            )  # untrustworthy: follows corruption
+        with EventJournal.open_resume(path) as journal:
+            assert journal.append("resume", {}) == 1
+        scan = read_events(path)
+        assert not scan.truncated_tail
+        assert [e["seq"] for e in scan.events] == [0, 1]
+        verify_sequence(scan)
+
     def test_verify_sequence_rejects_gap(self, tmp_path):
         path = tmp_path / "j.jsonl"
         path.write_text(

@@ -142,6 +142,59 @@ class TestJournalTracker:
         assert [p.name for p in run.checkpoints()] == ["ckpt-000003.json"]
 
 
+class TestHarnessLifecycle:
+    def test_tracked_baseline_reaches_terminal_status(self, tmp_path):
+        """Baselines don't drive the tracker themselves; run_method must
+        emit run_start/run_end so the manifest leaves 'created'."""
+        store = RunStore(tmp_path / "runs")
+        result = run_method(
+            "random", "edge", WORKLOAD, "smoke", seed=3, run_store=store
+        )
+        run = store.get(result.extras["run_id"])
+        assert run.status == "completed"
+        types = [e["type"] for e in read_events(run.journal_path).events]
+        assert types[0] == "run_start"
+        assert types[-1] == "run_end"
+        assert "evaluation" in types
+
+    def test_tracker_and_run_store_together_rejected(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        run = RunStore(tmp_path / "runs").create_run(dict(MANIFEST))
+        with pytest.raises(ConfigurationError, match="not both"):
+            run_method(
+                "unico", "edge", WORKLOAD, "smoke", seed=11,
+                tracker=JournalTracker(run),
+                run_store=tmp_path / "runs",
+            )
+
+    def test_custom_preset_object_is_resumable(self, tmp_path):
+        """A run tracked with an unregistered Preset object must resume
+        from the manifest's persisted parameters, not a name lookup."""
+        import dataclasses
+
+        from repro.experiments.presets import get_preset
+
+        custom = dataclasses.replace(get_preset("smoke"), name="custom-tiny")
+        store = RunStore(tmp_path / "runs")
+        result = run_method(
+            "unico", "edge", WORKLOAD, custom, seed=11, run_store=store
+        )
+        run = store.get(result.extras["run_id"])
+        manifest = run.read_manifest()
+        assert manifest["preset"] == "custom-tiny"
+        assert (
+            manifest["preset_params"]["unico_iterations"]
+            == custom.unico_iterations
+        )
+        # get_preset("custom-tiny") would raise; resume must not need it
+        resumed = resume_run(run)
+        assert resumed.extras["resumed_from_iteration"] == custom.unico_iterations
+        assert sorted(map(tuple, resumed.pareto.points.tolist())) == sorted(
+            map(tuple, result.pareto.points.tolist())
+        )
+
+
 class TestKillResumeEquivalence:
     def test_resume_matches_uninterrupted(self, tmp_path):
         straight = run_method("unico", "edge", WORKLOAD, "smoke", seed=11)
