@@ -9,15 +9,21 @@ tens-of-milliseconds regime, and a GP fit on a typical training-set size
 well under a second.
 """
 
+import json
+import time
+
 import numpy as np
 import pytest
 
 from repro.camodel.ascend_sim import simulate_layer
 from repro.camodel.mapping import AscendMapping
 from repro.costmodel.maestro import analyze_gemm
+from repro.costmodel.maestro_batch import analyze_gemm_batch
 from repro.costmodel.timeloop import analyze_gemm_loopnest
+from repro.costmodel.timeloop_batch import analyze_gemm_loopnest_batch
 from repro.hw import SpatialHWConfig, default_ascend_config
 from repro.mapping import GemmMapping
+from repro.mapping.gemm_mapping import GemmMappingSpace
 from repro.optim.gp import GaussianProcess
 from repro.optim.hypervolume import hypervolume
 from repro.workloads.layers import GemmShape
@@ -41,6 +47,88 @@ def test_speed_analytical_timeloop(benchmark):
     result = benchmark(analyze_gemm_loopnest, HW, MAPPING, SHAPE)
     assert result.feasible
     assert benchmark.stats["mean"] < 0.005
+
+
+@pytest.mark.benchmark(group="kernels")
+@pytest.mark.parametrize(
+    "scalar_fn, batch_fn",
+    [
+        (analyze_gemm, analyze_gemm_batch),
+        (analyze_gemm_loopnest, analyze_gemm_loopnest_batch),
+    ],
+    ids=["maestro", "timeloop"],
+)
+def test_speed_analytical_maestro_batch(
+    benchmark, results_dir, scalar_fn, batch_fn
+):
+    """Vectorized batch evaluation vs the scalar loop at B=64.
+
+    The acceptance bar of the batched path: >= 5x per-candidate
+    throughput on one shape.  Candidates are sampled feasible-on-HW so
+    both paths run the full analysis — the regime the scalar bench above
+    measures (on infeasible mappings the scalar model early-exits at the
+    capacity check, which would understate the work the batch path
+    replaces).
+
+    The speedup is measured *paired*: each round times the scalar loop
+    and the batch kernel back to back, so slow CPU-frequency / thermal
+    drift (several percent over a pytest session on shared runners) hits
+    both sides of a round's ratio equally, and the median over rounds is
+    robust to the occasional GC or scheduler pause landing in one chunk.
+    Both medians land in ``BENCH_engine.json``.
+    """
+    space = GemmMappingSpace(SHAPE)
+    rng = np.random.default_rng(0)
+    mappings = []
+    for _ in range(10_000):
+        candidate = space.sample(rng)
+        if scalar_fn(HW, candidate, SHAPE).feasible:
+            mappings.append(candidate)
+            if len(mappings) == 64:
+                break
+    assert len(mappings) == 64, "sampler failed to find 64 feasible mappings"
+
+    # the benchmark fixture reports the batch kernel's own timing (and
+    # doubles as warmup for the paired loop below)
+    results = benchmark.pedantic(
+        batch_fn, args=(HW, mappings, SHAPE),
+        rounds=30, iterations=16, warmup_rounds=2,
+    )
+    assert len(results) == 64
+
+    # paired rounds: both chunks are sized to a couple of milliseconds so
+    # a single GC pause cannot dominate either side
+    scalar_times, batch_times, ratios = [], [], []
+    for _ in range(9):
+        t0 = time.perf_counter()
+        for _ in range(3):
+            for mapping in mappings:
+                scalar_fn(HW, mapping, SHAPE)
+        t1 = time.perf_counter()
+        for _ in range(16):
+            batch_fn(HW, mappings, SHAPE)
+        t2 = time.perf_counter()
+        scalar_times.append((t1 - t0) / (3 * len(mappings)))
+        batch_times.append((t2 - t1) / (16 * len(mappings)))
+        ratios.append(scalar_times[-1] / batch_times[-1])
+
+    speedup = sorted(ratios)[len(ratios) // 2]
+    scalar_per_item = sorted(scalar_times)[len(scalar_times) // 2]
+    batch_per_item = sorted(batch_times)[len(batch_times) // 2]
+    record_path = results_dir / "BENCH_engine.json"
+    record = json.loads(record_path.read_text()) if record_path.exists() else {}
+    record[f"batch_speedup_{scalar_fn.__name__}"] = {
+        "batch_size": len(mappings),
+        "scalar_per_item_s": scalar_per_item,
+        "batch_per_item_s": batch_per_item,
+        "speedup": speedup,
+    }
+    record_path.write_text(json.dumps(record, indent=2, sort_keys=True))
+    assert speedup >= 5.0, (
+        f"batch path only {speedup:.1f}x faster per candidate "
+        f"({scalar_per_item * 1e6:.1f} us scalar vs "
+        f"{batch_per_item * 1e6:.1f} us batched)"
+    )
 
 
 @pytest.mark.benchmark(group="kernels")

@@ -74,6 +74,7 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         run_store=args.runs_dir if args.track else None,
         checkpoint_every=args.checkpoint_every,
+        eval_batch_size=args.batch_size,
     )
     _print_result(result, args.method, args.network, args.scenario)
     return 0
@@ -131,7 +132,46 @@ def _cmd_runs_show(args) -> int:
                 f"{r.uul:>12.4g}{r.num_selected:>5d}{r.num_feasible:>5d}"
                 f"{r.pareto_size:>7d}{r.best_scalar:>12.4g}"
             )
+    _print_batch_throughput(run)
     return 0
+
+
+def _print_batch_throughput(run) -> None:
+    """Effective-throughput summary from evaluation batch stamps and the
+    last engine snapshot (only printed when the run used batching)."""
+    from repro.tracking import read_events
+
+    scan = read_events(run.journal_path)
+    evals = [e for e in scan.events if e.get("type") == "evaluation"]
+    batched = [e for e in evals if e.get("batch_id") is not None]
+    snapshot = None
+    for event in scan.events:
+        if event.get("type") == "engine_snapshot" and event.get("engine"):
+            snapshot = event["engine"]
+    engine_batches = int((snapshot or {}).get("batch_queries", 0) or 0)
+    if not batched and not engine_batches:
+        return
+    print("batching:")
+    if batched:
+        sizes = [int(e.get("batch_size") or 1) for e in batched]
+        num_batches = len({int(e["batch_id"]) for e in batched})
+        span_s = max(e.get("time_s", 0.0) for e in batched) - min(
+            e.get("time_s", 0.0) for e in batched
+        )
+        print(f"  {'hw_evals_batched':<22s} {len(batched)}/{len(evals)}")
+        print(f"  {'hw_batches':<22s} {num_batches}")
+        print(f"  {'mean_hw_batch_size':<22s} {sum(sizes) / len(sizes):.1f}")
+        if span_s > 0:
+            print(
+                f"  {'effective_evals_per_h':<22s} "
+                f"{len(batched) / (span_s / 3600.0):.1f}"
+            )
+    if snapshot is not None and engine_batches:
+        print(f"  {'engine_batch_queries':<22s} {engine_batches}")
+        print(
+            f"  {'engine_mean_batch':<22s} "
+            f"{float(snapshot.get('mean_batch_size', 0.0)):.1f}"
+        )
 
 
 def _cmd_runs_tail(args) -> int:
@@ -288,6 +328,11 @@ def _cmd_stats(args) -> int:
     )
     if "num_retries" in engine:
         print(f"  retries          {engine['num_retries']}")
+    if engine.get("batch_queries"):
+        print(
+            f"  batch queries    {engine['batch_queries']}"
+            f" (mean batch size {engine.get('mean_batch_size', 0.0):.1f})"
+        )
     metrics = payload.get("metrics", {})
     counters = metrics.get("counters", {})
     if counters:
@@ -296,15 +341,18 @@ def _cmd_stats(args) -> int:
             print(f"  {name:<40s} {value:g}")
     histograms = metrics.get("histograms", {})
     if histograms:
-        print("latency histograms:")
+        print("histograms:")
         for name, hist in histograms.items():
             if not hist["count"]:
                 continue
-            print(
-                f"  {name:<40s} count={hist['count']}  "
-                f"mean={hist['mean'] * 1e3:.2f} ms  "
-                f"max={hist['max'] * 1e3:.2f} ms"
-            )
+            if "seconds" in name:
+                detail = (
+                    f"mean={hist['mean'] * 1e3:.2f} ms  "
+                    f"max={hist['max'] * 1e3:.2f} ms"
+                )
+            else:  # dimensionless (e.g. batch sizes)
+                detail = f"mean={hist['mean']:.1f}  max={hist['max']:g}"
+            print(f"  {name:<40s} count={hist['count']}  {detail}")
     return 0
 
 
@@ -372,6 +420,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--checkpoint-every", type=int, default=1,
         help="auto-checkpoint period in iterations (0 = journal only)",
+    )
+    run_parser.add_argument(
+        "--batch-size", type=int, default=1,
+        help="speculative batch width of the inner mapping search "
+             "(candidates per vectorized PPA-engine call; 1 = scalar loop)",
     )
     run_parser.set_defaults(fn=_cmd_run)
 

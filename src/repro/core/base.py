@@ -112,6 +112,7 @@ class CoOptimizer(ABC):
         seed: int = 0,
         trial_factory=None,
         tracker: Optional[Tracker] = None,
+        eval_batch_size: int = 1,
     ):
         self.space = space
         self.network = network
@@ -129,6 +130,9 @@ class CoOptimizer(ABC):
         self._trial_counter = 0
         self.total_hw_evaluated = 0
         self._trial_factory = trial_factory
+        #: speculative-batch width handed to every SW search trial; 1 keeps
+        #: the scalar propose/evaluate/fold loop
+        self.eval_batch_size = int(eval_batch_size)
         #: observer of search events (journaling, checkpointing); the
         #: default NullTracker keeps the untracked hot path free
         self.tracker: Tracker = tracker if tracker is not None else NullTracker()
@@ -151,9 +155,15 @@ class CoOptimizer(ABC):
             tool=self.tool,
             objective=self.objective,
             seed=seed_rng,
+            batch_size=self.eval_batch_size,
         )
 
-    def finish_candidate(self, trial: SWSearchTrial) -> HWEvaluation:
+    def finish_candidate(
+        self,
+        trial: SWSearchTrial,
+        batch_id: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ) -> HWEvaluation:
         """Assemble Y, update the PPA Pareto front and the timeline."""
         evaluation = assemble_objectives(
             trial,
@@ -173,7 +183,9 @@ class CoOptimizer(ABC):
             )
             added = self.pareto.add(design, evaluation.ppa_vector)
         if self.tracker.enabled:
-            self.tracker.on_evaluation(self, evaluation, added)
+            self.tracker.on_evaluation(
+                self, evaluation, added, batch_id=batch_id, batch_size=batch_size
+            )
         self.timeline.append(
             TimelineEntry(
                 time_s=self.clock.now_s,

@@ -48,13 +48,16 @@ def make_search_tool(
     engine: PPAEngine,
     objective: str = "latency",
     seed=None,
+    batch_size: int = 1,
 ) -> AnytimeMappingSearch:
     """Instantiate a registered SW mapping search tool by name."""
     if tool not in SEARCH_TOOLS:
         raise ConfigurationError(
             f"unknown search tool {tool!r}; available: {sorted(SEARCH_TOOLS)}"
         )
-    return SEARCH_TOOLS[tool](network, hw, engine, objective=objective, seed=seed)
+    return SEARCH_TOOLS[tool](
+        network, hw, engine, objective=objective, seed=seed, batch_size=batch_size
+    )
 
 
 class _QueryCountingEngine:
@@ -83,6 +86,10 @@ class _QueryCountingEngine:
         self.local_queries += len(requests)
         return self._engine.evaluate_layers(hw, requests)
 
+    def evaluate_candidates(self, hw, layer_name, mappings):
+        self.local_queries += len(mappings)
+        return self._engine.evaluate_candidates(hw, layer_name, mappings)
+
     def evaluate_network(self, hw, mappings):
         # mirrors PPAEngine.evaluate_network: one query per mapped layer
         self.local_queries += sum(
@@ -102,11 +109,14 @@ class SWSearchTrial:
         tool: str = "flextensor",
         objective: str = "latency",
         seed=None,
+        batch_size: int = 1,
     ):
         self.hw = hw
         self.engine = engine
         self._view = _QueryCountingEngine(engine)
-        self.search = make_search_tool(tool, network, hw, self._view, objective, seed)
+        self.search = make_search_tool(
+            tool, network, hw, self._view, objective, seed, batch_size=batch_size
+        )
         #: engine queries consumed (initialization included)
         self.queries_spent = self._view.local_queries
 

@@ -82,6 +82,10 @@ class UnicoConfig:
     mobo_overhead_s: float = 5.0
     time_budget_s: Optional[float] = None
     min_observations: int = 8
+    #: speculative-batch width of the inner mapping search (candidates per
+    #: PPA-engine batch call); 1 keeps the scalar loop.  Distinct from
+    #: ``batch_size``, which is the MOBO *hardware* batch N.
+    eval_batch_size: int = 1
     #: warm-start configurations injected into the first batch (e.g. the
     #: expert default when tuning an existing industrial architecture)
     initial_configs: tuple = ()
@@ -100,6 +104,10 @@ class UnicoConfig:
             )
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.eval_batch_size < 1:
+            raise ConfigurationError(
+                f"eval_batch_size must be >= 1, got {self.eval_batch_size}"
+            )
         if self.runner_backend not in ("serial", "thread"):
             raise ConfigurationError(
                 f"runner_backend must be 'serial' or 'thread' (got "
@@ -136,6 +144,7 @@ class Unico(CoOptimizer):
             engine,
             include_robustness=config.include_robustness,
             robustness_alpha=config.robustness_alpha,
+            eval_batch_size=config.eval_batch_size,
             **kwargs,
         )
         self.config = config
@@ -293,7 +302,12 @@ class Unico(CoOptimizer):
             trials = [self.new_trial(hw) for hw in batch]
             self._run_msh(trials)
             # (3) assess every candidate
-            batch_evaluations = [self.finish_candidate(trial) for trial in trials]
+            batch_evaluations = [
+                self.finish_candidate(
+                    trial, batch_id=iteration, batch_size=len(trials)
+                )
+                for trial in trials
+            ]
             self.evaluations.extend(batch_evaluations)
             for evaluation in batch_evaluations:
                 self.normalizer.observe(evaluation.objectives)

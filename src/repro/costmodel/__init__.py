@@ -22,15 +22,19 @@ from repro.costmodel.maestro import (
     evaluate_network,
     spatial_area_mm2,
 )
+from repro.costmodel.maestro_batch import analyze_gemm_batch
 from repro.costmodel.technology import DEFAULT_TECHNOLOGY, Technology
 from repro.costmodel.reliability import FlakyEngine, RetryingEngine
 from repro.costmodel.timeloop import TimeloopEngine, analyze_gemm_loopnest
+from repro.costmodel.timeloop_batch import analyze_gemm_loopnest_batch
 
 __all__ = [
     "FlakyEngine",
     "RetryingEngine",
     "TimeloopEngine",
     "analyze_gemm_loopnest",
+    "analyze_gemm_loopnest_batch",
+    "analyze_gemm_batch",
     "ANALYTICAL_EVAL_COST_S",
     "DEFAULT_CACHE_CAPACITY",
     "MaestroEngine",

@@ -43,11 +43,16 @@ from repro.costmodel.maestro import (
     evaluate_network,
     spatial_area_mm2,
 )
+from repro.costmodel.maestro_batch import analyze_gemm_batch
 from repro.costmodel.technology import DEFAULT_TECHNOLOGY, Technology
 from repro.errors import ConfigurationError, EvaluationError
 from repro.hw.spatial import SpatialHWConfig
 from repro.utils.clock import SimulatedClock
-from repro.utils.metrics import MetricsRegistry
+from repro.utils.metrics import (
+    DEFAULT_BATCH_SIZE_BOUNDS,
+    PER_ITEM_LATENCY_BOUNDS,
+    MetricsRegistry,
+)
 from repro.workloads.layers import GemmShape
 from repro.workloads.network import Network
 
@@ -99,6 +104,10 @@ class PPAEngine(ABC):
         self.num_queries = 0
         self.num_cache_hits = 0
         self.num_cache_evictions = 0
+        #: batch-path accounting: calls to :meth:`evaluate_candidates` and
+        #: the candidates they carried (for the mean batch size)
+        self.num_batch_queries = 0
+        self.num_batch_items = 0
         #: when False, a co-optimizer owns wall-clock accounting (e.g. to
         #: model parallel workers) and the engine only counts queries.
         self.charge_clock = True
@@ -119,6 +128,20 @@ class PPAEngine(ABC):
     ) -> LayerPPA:
         """Name-aware computation hook (remote engines dispatch by name)."""
         return self._compute_layer(hw, mapping, shape)
+
+    def _compute_layer_batch(
+        self,
+        hw,
+        mappings: Sequence["GemmMapping"],
+        layer_name: str,
+        shape: GemmShape,
+    ) -> Optional[List[LayerPPA]]:
+        """Uncached vectorized batch analysis, ordered like ``mappings``.
+
+        Engines without a batch kernel return ``None`` and
+        :meth:`evaluate_candidates` falls back to a scalar loop.
+        """
+        return None
 
     def hw_key(self, hw) -> Tuple:
         """Hashable identity of a hardware config (for the cache)."""
@@ -204,6 +227,82 @@ class PPAEngine(ABC):
             for mapping, layer_name in requests
         ]
 
+    def evaluate_candidates(
+        self, hw, layer_name: str, mappings: Sequence["GemmMapping"]
+    ) -> List[LayerPPA]:
+        """Evaluate B candidate mappings of one layer in a single pass.
+
+        Query semantics match B :meth:`evaluate_layer` calls item for item:
+        each candidate counts one query, charges one evaluation on the
+        simulated clock, and hits or misses the LRU individually
+        (within-batch duplicates of a missing key count as hits, mirroring
+        the sequential order: first occurrence computes, the rest reuse).
+        Only the misses reach the cost model — through the vectorized
+        :meth:`_compute_layer_batch` kernel when the engine has one,
+        otherwise through a scalar fallback loop — so an all-cache-hit
+        batch records no compute time at all.
+        """
+        mappings = list(mappings)
+        if layer_name not in self.layer_shapes:
+            raise EvaluationError(
+                f"layer {layer_name!r} not in workload {self.network.name!r}"
+            )
+        if not mappings:
+            return []
+        shape, _count = self.layer_shapes[layer_name]
+        batch = len(mappings)
+        with self._lock:
+            self.num_queries += batch
+            self.num_batch_queries += 1
+            self.num_batch_items += batch
+        self.metrics.counter("engine_queries_total").inc(batch)
+        self.metrics.counter("engine_batch_queries_total").inc()
+        self.metrics.histogram(
+            "engine_batch_size", DEFAULT_BATCH_SIZE_BOUNDS
+        ).observe(batch)
+        if self.charge_clock:
+            self.clock.advance(self.eval_cost_s * batch, label="ppa-eval")
+        hw_id = self.hw_key(hw)
+        results: List[Optional[LayerPPA]] = [None] * batch
+        miss_keys: List[Tuple] = []
+        miss_mappings: List["GemmMapping"] = []
+        miss_positions: Dict[Tuple, List[int]] = {}
+        for index, mapping in enumerate(mappings):
+            key = (hw_id, layer_name, mapping.key())
+            if key in miss_positions:
+                miss_positions[key].append(index)
+                with self._lock:
+                    self.num_cache_hits += 1
+                self.metrics.counter("engine_cache_hits_total").inc()
+                continue
+            cached = self._cache_lookup(key)
+            if cached is not None:
+                results[index] = cached
+            else:
+                miss_positions[key] = [index]
+                miss_keys.append(key)
+                miss_mappings.append(mapping)
+        if miss_mappings:
+            start = time.perf_counter()
+            computed = self._compute_layer_batch(
+                hw, miss_mappings, layer_name, shape
+            )
+            if computed is None:
+                computed = [
+                    self._compute_layer_by_name(hw, mapping, layer_name, shape)
+                    for mapping in miss_mappings
+                ]
+            elapsed = time.perf_counter() - start
+            self.metrics.histogram("engine_compute_seconds").observe(elapsed)
+            self.metrics.histogram(
+                "engine_batch_compute_seconds_per_item", PER_ITEM_LATENCY_BOUNDS
+            ).observe(elapsed / len(miss_mappings))
+            for key, result in zip(miss_keys, computed):
+                self._cache_store(key, result)
+                for index in miss_positions[key]:
+                    results[index] = result
+        return results
+
     def evaluate_network(self, hw, mappings: "NetworkMapping") -> NetworkPPA:
         """Evaluate a complete per-layer mapping (charges one eval per layer)."""
         for layer_name in self.layer_shapes:
@@ -259,6 +358,12 @@ class PPAEngine(ABC):
             return 0.0
         return self.num_cache_hits / self.num_queries
 
+    @property
+    def mean_batch_size(self) -> float:
+        if self.num_batch_queries == 0:
+            return 0.0
+        return self.num_batch_items / self.num_batch_queries
+
     def stats(self) -> Dict:
         """Operational statistics for ``GET /metrics`` / ``repro stats``."""
         return {
@@ -270,6 +375,9 @@ class PPAEngine(ABC):
             "num_cache_evictions": self.num_cache_evictions,
             "cache_size": len(self._cache),
             "cache_capacity": self.cache_capacity,
+            "batch_queries": self.num_batch_queries,
+            "batch_items": self.num_batch_items,
+            "mean_batch_size": self.mean_batch_size,
         }
 
 
@@ -280,6 +388,15 @@ class MaestroEngine(PPAEngine):
         self, hw: SpatialHWConfig, mapping: "GemmMapping", shape: GemmShape
     ) -> LayerPPA:
         return analyze_gemm(hw, mapping, shape, self.tech)
+
+    def _compute_layer_batch(
+        self,
+        hw: SpatialHWConfig,
+        mappings: Sequence["GemmMapping"],
+        layer_name: str,
+        shape: GemmShape,
+    ) -> List[LayerPPA]:
+        return analyze_gemm_batch(hw, mappings, shape, self.tech)
 
     def area_mm2(self, hw: SpatialHWConfig) -> float:
         return spatial_area_mm2(hw, self.tech)

@@ -16,7 +16,7 @@ class LayerPPA:
 
     latency_s: float
     energy_j: float
-    feasible: bool
+    feasible: bool = True
     compute_cycles: float = 0.0
     noc_cycles: float = 0.0
     dram_cycles: float = 0.0

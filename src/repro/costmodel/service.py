@@ -6,8 +6,9 @@ inputs to estimate performance, power and area."
 
 * :class:`PPAServiceServer` wraps any :class:`PPAEngine` behind a small
   HTTP/JSON endpoint (stdlib ``http.server``; POST ``/evaluate_layer``,
-  POST ``/evaluate_layers`` (batched), POST ``/aggregate``,
-  GET ``/health``, GET ``/metrics``).
+  POST ``/evaluate_layers`` (batched), POST ``/evaluate_candidates``
+  (batched candidates of one layer, vectorized server-side),
+  POST ``/aggregate``, GET ``/health``, GET ``/metrics``).
 * :class:`RemotePPAEngine` is a drop-in :class:`PPAEngine` client: search
   tools talk to it exactly as they talk to an in-process engine, so the
   master-slave deployment of Fig. 6(b) only changes the engine wiring.
@@ -78,8 +79,13 @@ def _tuple_fields(cls: type) -> FrozenSet[str]:
 
 
 def encode_object(obj) -> Dict:
-    """Serialize a hardware config or mapping as {type, fields}."""
-    fields = dict(vars(obj))
+    """Serialize a hardware config or mapping as {type, fields}.
+
+    Underscore-prefixed attributes (precomputed caches such as
+    ``GemmMapping._row``) are not constructor arguments and stay off the
+    wire.
+    """
+    fields = {k: v for k, v in vars(obj).items() if not k.startswith("_")}
     for name in _tuple_fields(type(obj)):
         if name in fields:
             fields[name] = list(fields[name])
@@ -219,6 +225,31 @@ class PPAServiceServer:
                         results.append({"ok": False, "error": str(exc)})
                 self._reply(200, {"results": results})
 
+            def _evaluate_candidates(self, request: Dict) -> None:
+                hw = decode_object(request["hw"])
+                layer_name = request["layer"]
+                items = request["mappings"]
+                if not isinstance(items, list):
+                    raise EvaluationError("'mappings' must be a list")
+                entries: List[Optional[Dict]] = [None] * len(items)
+                decoded: List[Tuple[int, object]] = []
+                for index, item in enumerate(items):
+                    # one undecodable mapping must not poison the batch
+                    try:
+                        decoded.append((index, decode_object(item)))
+                    except (EvaluationError, KeyError, TypeError) as exc:
+                        entries[index] = {"ok": False, "error": str(exc)}
+                if decoded:
+                    batch_results = engine.evaluate_candidates(
+                        hw, layer_name, [mapping for _i, mapping in decoded]
+                    )
+                    for (index, _mapping), result in zip(decoded, batch_results):
+                        entries[index] = {
+                            "ok": True,
+                            "result": _layer_ppa_to_dict(result),
+                        }
+                self._reply(200, {"results": entries})
+
             def do_POST(self):
                 start = time.perf_counter()
                 length = int(self.headers.get("Content-Length", 0))
@@ -237,6 +268,8 @@ class PPAServiceServer:
                         self._reply(200, _layer_ppa_to_dict(result))
                     elif self.path == "/evaluate_layers":
                         self._evaluate_layers(request)
+                    elif self.path == "/evaluate_candidates":
+                        self._evaluate_candidates(request)
                     elif self.path == "/aggregate":
                         hw = decode_object(request["hw"])
                         mappings = {
@@ -321,7 +354,11 @@ class RemotePPAEngine(PPAEngine):
     Batching: :meth:`evaluate_layers` groups cache misses into
     ``POST /evaluate_layers`` chunks of ``batch_size`` to amortize HTTP
     round trips; per-query accounting (clock, counters, cache) is
-    identical to the one-by-one path.
+    identical to the one-by-one path.  The candidate-batch path
+    (:meth:`evaluate_candidates`) likewise ships its cache misses as
+    chunked ``POST /evaluate_candidates`` requests — one request per
+    batch instead of one per candidate — and the server evaluates each
+    request through its engine's vectorized kernel.
     """
 
     def __init__(
@@ -521,6 +558,38 @@ class RemotePPAEngine(PPAEngine):
                     + "; ".join(failures)
                 )
         return results  # type: ignore[return-value]  # all slots filled above
+
+    def _compute_layer_batch(
+        self, hw, mappings, layer_name: str, shape
+    ) -> List[LayerPPA]:
+        """Cache misses of one candidate batch travel as chunked POSTs."""
+        results: List[LayerPPA] = []
+        for chunk_start in range(0, len(mappings), self.batch_size):
+            chunk = mappings[chunk_start : chunk_start + self.batch_size]
+            payload = {
+                "hw": encode_object(hw),
+                "layer": layer_name,
+                "mappings": [encode_object(mapping) for mapping in chunk],
+            }
+            reply = self._request_json("/evaluate_candidates", payload)
+            entries = reply.get("results")
+            if not isinstance(entries, list) or len(entries) != len(chunk):
+                raise EvaluationError(
+                    f"candidate-batch reply shape mismatch: sent {len(chunk)} "
+                    f"items, got {entries!r}"
+                )
+            failures: List[str] = []
+            for entry in entries:
+                if entry.get("ok"):
+                    results.append(_layer_ppa_from_dict(entry["result"]))
+                else:
+                    failures.append(str(entry.get("error")))
+            if failures:
+                raise EvaluationError(
+                    f"candidate-batch evaluation failed for {len(failures)} "
+                    "item(s): " + "; ".join(failures)
+                )
+        return results
 
     def area_mm2(self, hw) -> float:
         return self.area_fn(hw)

@@ -228,5 +228,12 @@ class TimeloopEngine(PPAEngine):
     ) -> LayerPPA:
         return analyze_gemm_loopnest(hw, mapping, shape, self.tech)
 
+    def _compute_layer_batch(
+        self, hw: SpatialHWConfig, mappings, layer_name: str, shape: GemmShape
+    ) -> List[LayerPPA]:
+        from repro.costmodel.timeloop_batch import analyze_gemm_loopnest_batch
+
+        return analyze_gemm_loopnest_batch(hw, mappings, shape, self.tech)
+
     def area_mm2(self, hw: SpatialHWConfig) -> float:
         return spatial_area_mm2(hw, self.tech)

@@ -126,12 +126,18 @@ def build_optimizer(
     preset: Union[str, Preset] = "smoke",
     seed: int = 0,
     time_budget_s: Optional[float] = None,
+    eval_batch_size: int = 1,
 ):
     """Construct (without running) the co-optimizer for one cell.
 
     This is the factory :func:`run_method` drives and the piece
     ``repro runs resume`` uses to rebuild an optimizer from a tracked
     run's manifest before restoring its checkpoint.
+
+    ``eval_batch_size`` is the speculative-batch width of the inner
+    mapping search (one PPA-engine batch call per that many candidates);
+    1 keeps the classic scalar loop and reproduces its trajectories
+    exactly.
     """
     if method not in METHODS:
         raise ConfigurationError(f"unknown method {method!r}; use one of {METHODS}")
@@ -166,6 +172,7 @@ def build_optimizer(
             workers=workers,
             time_budget_s=time_budget_s,
             initial_configs=initial_configs,
+            eval_batch_size=eval_batch_size,
             **variant,
         )
         optimizer = Unico(
@@ -178,7 +185,8 @@ def build_optimizer(
             time_budget_s=time_budget_s,
         )
         optimizer = HascoBaseline(
-            space, network, engine, config, tool=tool, seed=seed, **caps
+            space, network, engine, config, tool=tool, seed=seed,
+            eval_batch_size=eval_batch_size, **caps
         )
     elif method == "nsgaii":
         config = NSGA2CodesignConfig(
@@ -188,7 +196,8 @@ def build_optimizer(
             time_budget_s=time_budget_s,
         )
         optimizer = NSGA2Codesign(
-            space, network, engine, config, tool=tool, seed=seed, **caps
+            space, network, engine, config, tool=tool, seed=seed,
+            eval_batch_size=eval_batch_size, **caps
         )
     elif method == "mobohb":
         config = MobohbConfig(
@@ -197,7 +206,8 @@ def build_optimizer(
             time_budget_s=time_budget_s,
         )
         optimizer = MobohbBaseline(
-            space, network, engine, config, tool=tool, seed=seed, **caps
+            space, network, engine, config, tool=tool, seed=seed,
+            eval_batch_size=eval_batch_size, **caps
         )
     else:  # random
         config = RandomCodesignConfig(
@@ -206,7 +216,8 @@ def build_optimizer(
             time_budget_s=time_budget_s,
         )
         optimizer = RandomCodesign(
-            space, network, engine, config, tool=tool, seed=seed, **caps
+            space, network, engine, config, tool=tool, seed=seed,
+            eval_batch_size=eval_batch_size, **caps
         )
     return optimizer
 
@@ -230,6 +241,7 @@ def run_method(
     tracker=None,
     run_store=None,
     checkpoint_every: int = 1,
+    eval_batch_size: int = 1,
 ) -> CoSearchResult:
     """Run one (method, scenario, workload) cell and return its result.
 
@@ -249,7 +261,13 @@ def run_method(
             "its own JournalTracker and would silently ignore the tracker"
         )
     optimizer = build_optimizer(
-        method, scenario, workload, preset, seed=seed, time_budget_s=time_budget_s
+        method,
+        scenario,
+        workload,
+        preset,
+        seed=seed,
+        time_budget_s=time_budget_s,
+        eval_batch_size=eval_batch_size,
     )
     run = None
     if tracker is None and run_store is not None:
@@ -271,6 +289,7 @@ def run_method(
                 "preset_params": to_jsonable(dataclasses.asdict(preset_obj)),
                 "seed": seed,
                 "time_budget_s": time_budget_s,
+                "eval_batch_size": eval_batch_size,
                 "space": optimizer.space.name,
                 "engine": type(optimizer.engine).__name__,
                 "config": to_jsonable(dataclasses.asdict(optimizer.config)),

@@ -78,6 +78,14 @@ class AnytimeMappingSearch(ABC):
     #: human-readable tool name (reported in experiment records)
     name = "anytime"
 
+    #: whether :meth:`_propose` is *speculation-safe*: drafting several
+    #: proposals in a row without folding results in between must consume
+    #: only RNG state and leave every piece of strategy state that
+    #: :meth:`_propose` reads untouched.  Tools whose proposals pop queues
+    #: or advance cursors (CoSA, the fusion search) must leave this False;
+    #: they silently fall back to scalar stepping under ``batch_size > 1``.
+    supports_speculation = False
+
     def __init__(
         self,
         network: Network,
@@ -85,13 +93,23 @@ class AnytimeMappingSearch(ABC):
         engine: "PPAEngine",
         objective: str = "latency",
         seed: SeedLike = None,
+        batch_size: int = 1,
     ):
         if objective not in ("latency", "edp"):
             raise SearchBudgetError(f"unknown objective {objective!r}")
+        if batch_size < 1:
+            raise SearchBudgetError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
         self.network = network
         self.hw = hw
         self.engine = engine
         self.objective = objective
+        self.batch_size = int(batch_size)
+        #: candidates evaluated through speculative batches / of those, the
+        #: replayed proposals the speculation failed to predict
+        self.num_speculative_evals = 0
+        self.num_speculation_misses = 0
         self.rng = as_generator(seed)
         self.spaces: Dict[str, GemmMappingSpace] = {
             layer.name: self._make_space(layer) for layer in network.layers
@@ -159,6 +177,18 @@ class AnytimeMappingSearch(ABC):
     def _propose(self) -> Tuple[str, GemmMapping]:
         """Return the next (layer, candidate mapping) to evaluate."""
 
+    def _propose_batch(self, n: int) -> Optional[List[Tuple[str, GemmMapping]]]:
+        """Draft up to ``n`` proposals against the current incumbent state.
+
+        The default drafts by calling :meth:`_propose` repeatedly, which is
+        only sound for speculation-safe tools (``supports_speculation``);
+        for everything else it returns ``None`` — without consuming RNG —
+        and :meth:`run` falls back to scalar stepping.
+        """
+        if not self.supports_speculation:
+            return None
+        return [self._propose() for _ in range(n)]
+
     def _on_result(
         self, layer_name: str, mapping: GemmMapping, result: LayerPPA, improved: bool
     ) -> None:
@@ -215,39 +245,98 @@ class AnytimeMappingSearch(ABC):
             raise SearchBudgetError(
                 f"additional_budget must be >= 0, got {additional_budget}"
             )
-        for _ in range(additional_budget):
-            layer_name, candidate = self._propose()
-            result = self.engine.evaluate_layer(self.hw, candidate, layer_name)
-            trial_latency, trial_energy = self._trial_totals(layer_name, result)
-            trial_objective = self._network_objective(trial_latency, trial_energy)
-
-            improved = False
-            incumbent = self.best_layer_result[layer_name]
-            if result.feasible:
-                better_layer = (
-                    not incumbent.feasible
-                    or self._layer_score(result) < self._layer_score(incumbent)
-                )
-                if better_layer:
-                    self.best_layer_mapping[layer_name] = candidate
-                    self.best_layer_result[layer_name] = result
-                    improved = True
-            self._on_result(layer_name, candidate, result, improved)
-
-            best_latency, best_energy = self._network_totals()
-            self.spent_budget += 1
-            self.history.append(
-                MappingSearchPoint(
-                    step=self.spent_budget,
-                    trial_objective=trial_objective,
-                    trial_latency_s=trial_latency,
-                    trial_power_w=self._network_power(trial_latency, trial_energy),
-                    best_objective=self._network_objective(best_latency, best_energy),
-                    best_latency_s=best_latency,
-                    best_power_w=self._network_power(best_latency, best_energy),
-                )
-            )
+        remaining = additional_budget
+        while remaining > 0:
+            if self.batch_size > 1 and remaining > 1:
+                remaining -= self._run_speculative(min(self.batch_size, remaining))
+            else:
+                self._step_scalar()
+                remaining -= 1
         return self
+
+    def _step_scalar(self) -> None:
+        """One propose -> evaluate -> fold step (the classic inner loop)."""
+        layer_name, candidate = self._propose()
+        result = self.engine.evaluate_layer(self.hw, candidate, layer_name)
+        self._fold_result(layer_name, candidate, result)
+
+    def _run_speculative(self, n: int) -> int:
+        """Draft ``n`` proposals, batch-evaluate them, then replay the fold.
+
+        The drafting pass consumes only RNG state (the speculation-safety
+        contract), so after restoring the RNG snapshot the replay's
+        :meth:`_propose` calls — made under the *true* post-fold state —
+        regenerate the same proposals whenever folding earlier results did
+        not steer the strategy elsewhere.  Replayed proposals found in the
+        batch pool reuse the batched evaluation; mispredictions fall back
+        to a scalar engine call.  Either way the history, incumbents and
+        final RNG state are byte-identical to ``batch_size=1``.
+        """
+        rng_state = self.rng.bit_generator.state
+        drafts = self._propose_batch(n)
+        if not drafts:
+            self._step_scalar()
+            return 1
+        self.rng.bit_generator.state = rng_state
+
+        evaluate = getattr(self.engine, "evaluate_candidates", None)
+        if evaluate is None:
+            for _ in range(len(drafts)):
+                self._step_scalar()
+            return len(drafts)
+
+        by_layer: Dict[str, List[GemmMapping]] = {}
+        for layer_name, candidate in drafts:
+            by_layer.setdefault(layer_name, []).append(candidate)
+        pool: Dict[Tuple[str, tuple], LayerPPA] = {}
+        for layer_name, candidates in by_layer.items():
+            results = evaluate(self.hw, layer_name, candidates)
+            for candidate, result in zip(candidates, results):
+                pool[(layer_name, candidate.key())] = result
+        self.num_speculative_evals += len(drafts)
+
+        for _ in range(len(drafts)):
+            layer_name, candidate = self._propose()
+            result = pool.get((layer_name, candidate.key()))
+            if result is None:
+                self.num_speculation_misses += 1
+                result = self.engine.evaluate_layer(self.hw, candidate, layer_name)
+            self._fold_result(layer_name, candidate, result)
+        return len(drafts)
+
+    def _fold_result(
+        self, layer_name: str, candidate: GemmMapping, result: LayerPPA
+    ) -> None:
+        """Fold one evaluated candidate into incumbents + history."""
+        trial_latency, trial_energy = self._trial_totals(layer_name, result)
+        trial_objective = self._network_objective(trial_latency, trial_energy)
+
+        improved = False
+        incumbent = self.best_layer_result[layer_name]
+        if result.feasible:
+            better_layer = (
+                not incumbent.feasible
+                or self._layer_score(result) < self._layer_score(incumbent)
+            )
+            if better_layer:
+                self.best_layer_mapping[layer_name] = candidate
+                self.best_layer_result[layer_name] = result
+                improved = True
+        self._on_result(layer_name, candidate, result, improved)
+
+        best_latency, best_energy = self._network_totals()
+        self.spent_budget += 1
+        self.history.append(
+            MappingSearchPoint(
+                step=self.spent_budget,
+                trial_objective=trial_objective,
+                trial_latency_s=trial_latency,
+                trial_power_w=self._network_power(trial_latency, trial_energy),
+                best_objective=self._network_objective(best_latency, best_energy),
+                best_latency_s=best_latency,
+                best_power_w=self._network_power(best_latency, best_energy),
+            )
+        )
 
     def _layer_score(self, result: LayerPPA) -> float:
         if self.objective == "latency":

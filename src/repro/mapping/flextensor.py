@@ -24,6 +24,9 @@ class FlexTensorSearch(AnytimeMappingSearch):
     """Simulated-annealing mapping search with adaptive layer credit."""
 
     name = "flextensor"
+    #: drafting only reads credits/temperature and writes ``_pending``
+    #: (overwritten by the replay's own proposals), so speculation is safe
+    supports_speculation = True
 
     def __init__(
         self,

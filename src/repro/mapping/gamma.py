@@ -22,6 +22,9 @@ class GammaSearch(AnytimeMappingSearch):
     """Per-layer (mu + lambda) genetic search over mappings."""
 
     name = "gamma"
+    #: drafting only reads the population and writes ``_pending_layer``
+    #: (overwritten by the replay's own proposals), so speculation is safe
+    supports_speculation = True
 
     def __init__(
         self,

@@ -33,6 +33,9 @@ LOOP_ORDERS: Tuple[Tuple[str, str, str], ...] = tuple(
 SPATIAL_CHOICES: Tuple[str, ...] = ("mn", "nm")
 UNROLL_CHOICES: Tuple[int, ...] = (1, 2, 4, 8)
 
+#: GEMM dimension codes shared with the batch cost-model kernels
+DIM_INDEX: Dict[str, int] = {"m": 0, "n": 1, "k": 2}
+
 
 @dataclass(frozen=True)
 class GemmMapping:
@@ -57,6 +60,14 @@ class GemmMapping:
             raise MappingError(f"invalid spatial choice {self.spatial!r}")
         if self.unroll not in UNROLL_CHOICES:
             raise MappingError(f"invalid unroll factor {self.unroll}")
+        # canonical integer row consumed by the batch cost-model kernels
+        # (repro.costmodel.maestro_batch); precomputed once here so batch
+        # evaluation does not re-derive it per candidate per call
+        object.__setattr__(self, "_row", (
+            self.tile_m, self.tile_n, self.tile_k, self.unroll,
+            1 if self.spatial == "mn" else 0,
+            DIM_INDEX[self.loop_order[2]],
+        ))
 
     def tiles(self) -> Tuple[int, int, int]:
         return (self.tile_m, self.tile_n, self.tile_k)

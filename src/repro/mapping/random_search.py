@@ -16,6 +16,9 @@ class RandomMappingSearch(AnytimeMappingSearch):
     """IID random sampling over per-layer mapping spaces."""
 
     name = "random"
+    #: pure-RNG proposals: drafting touches nothing but the generator, so
+    #: speculative replay regenerates the exact same candidates every time
+    supports_speculation = True
 
     def _propose(self) -> Tuple[str, GemmMapping]:
         layer_name = self.layer_names[int(self.rng.integers(0, len(self.layer_names)))]

@@ -159,6 +159,7 @@ def resume_run(
         _manifest_preset(manifest),
         seed=int(manifest["seed"]),
         time_budget_s=manifest.get("time_budget_s"),
+        eval_batch_size=int(manifest.get("eval_batch_size", 1)),
     )
     load_checkpoint(optimizer, checkpoint)
     if max_iterations is not None:

@@ -62,8 +62,20 @@ class Tracker:
     ) -> None:
         """One (M)SH round finished; ``promoted`` survived only via AUC."""
 
-    def on_evaluation(self, optimizer, evaluation, added: bool) -> None:
-        """A candidate's Y was assembled; ``added`` = joined the front."""
+    def on_evaluation(
+        self,
+        optimizer,
+        evaluation,
+        added: bool,
+        batch_id=None,
+        batch_size=None,
+    ) -> None:
+        """A candidate's Y was assembled; ``added`` = joined the front.
+
+        ``batch_id``/``batch_size`` identify the HW-evaluation batch the
+        candidate belonged to (when the optimizer evaluates in batches), so
+        consumers can report effective throughput per batch.
+        """
 
     def on_surrogate_update(
         self,
@@ -199,17 +211,27 @@ class JournalTracker(Tracker):
             },
         )
 
-    def on_evaluation(self, optimizer, evaluation, added: bool) -> None:
-        self._emit(
-            optimizer,
-            "evaluation",
-            {
-                "hw": self._hw_payload(optimizer, evaluation.hw),
-                "objectives": to_jsonable(evaluation.objectives),
-                "feasible": bool(evaluation.feasible),
-                "added_to_pareto": bool(added),
-            },
-        )
+    def on_evaluation(
+        self,
+        optimizer,
+        evaluation,
+        added: bool,
+        batch_id=None,
+        batch_size=None,
+    ) -> None:
+        payload = {
+            "hw": self._hw_payload(optimizer, evaluation.hw),
+            "objectives": to_jsonable(evaluation.objectives),
+            "feasible": bool(evaluation.feasible),
+            "added_to_pareto": bool(added),
+        }
+        # batch membership is additive: untracked (scalar) optimizers keep
+        # the historical event shape, so resume semantics are unchanged
+        if batch_id is not None:
+            payload["batch_id"] = int(batch_id)
+        if batch_size is not None:
+            payload["batch_size"] = int(batch_size)
+        self._emit(optimizer, "evaluation", payload)
         if added:
             self._emit(
                 optimizer,

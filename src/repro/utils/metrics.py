@@ -33,6 +33,23 @@ DEFAULT_LATENCY_BOUNDS: Tuple[float, ...] = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: Buckets for batch-size distributions (``engine_batch_size``): powers of
+#: two up to the largest batch any search realistically ships at once.
+DEFAULT_BATCH_SIZE_BOUNDS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+)
+
+#: Buckets for *per-candidate* compute latency on the batch path
+#: (``engine_batch_compute_seconds_per_item``).  Much finer at the
+#: microsecond end than :data:`DEFAULT_LATENCY_BOUNDS`: batched analytical
+#: evaluation amortizes to microseconds per candidate, and the batch
+#: speedup is exactly this histogram's mean versus the scalar
+#: ``engine_compute_seconds`` mean.
+PER_ITEM_LATENCY_BOUNDS: Tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4,
+    5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2,
+)
+
 
 class Counter:
     """A monotonically increasing counter."""
@@ -264,7 +281,9 @@ class MetricsRegistry:
 
 
 __all__ = [
+    "DEFAULT_BATCH_SIZE_BOUNDS",
     "DEFAULT_LATENCY_BOUNDS",
+    "PER_ITEM_LATENCY_BOUNDS",
     "Counter",
     "Histogram",
     "MetricsRegistry",

@@ -510,6 +510,82 @@ class TestBatchEndpoint:
         assert exc_info.value.code == 400
 
 
+class TestCandidatesEndpoint:
+    """POST /evaluate_candidates: one request per candidate-batch chunk."""
+
+    def _mappings(self, count):
+        return [GemmMapping(4, 8, 4, unroll=u) for u in (1, 2, 4, 8)][:count]
+
+    def test_remote_candidates_match_local(self, server, remote, tiny_network,
+                                           sample_hw):
+        local = MaestroEngine(tiny_network)
+        mappings = self._mappings(4)
+        batched = remote.evaluate_candidates(sample_hw, "gemm", mappings)
+        for mapping, result in zip(mappings, batched):
+            assert result == local.evaluate_layer(sample_hw, mapping, "gemm")
+
+    def test_candidates_ship_as_chunked_requests(self, server, tiny_network,
+                                                 sample_hw):
+        remote = _fast_remote(tiny_network, server.url, batch_size=2)
+        before = remote.metrics.counter_value("remote_requests_total")
+        remote.evaluate_candidates(sample_hw, "gemm", self._mappings(4))
+        # 4 misses / chunk size 2 -> exactly 2 POSTs
+        assert remote.metrics.counter_value("remote_requests_total") - before == 2
+
+    def test_candidates_cache_hits_stay_local(self, server, remote, sample_hw):
+        mappings = self._mappings(3)
+        remote.evaluate_candidates(sample_hw, "gemm", mappings)
+        before = remote.metrics.counter_value("remote_requests_total")
+        remote.evaluate_candidates(sample_hw, "gemm", mappings)
+        assert remote.metrics.counter_value("remote_requests_total") == before
+        assert remote.num_cache_hits == 3
+
+    def test_server_vectorizes_candidate_batch(self, server, sample_hw):
+        backend_batches = server.engine.num_batch_queries
+        payload = {
+            "hw": encode_object(sample_hw),
+            "layer": "gemm",
+            "mappings": [encode_object(m) for m in self._mappings(4)],
+        }
+        request = Request(f"{server.url}/evaluate_candidates",
+                          data=json.dumps(payload).encode(),
+                          headers={"Content-Type": "application/json"})
+        with urlopen(request) as response:
+            reply = json.loads(response.read())
+        assert [entry["ok"] for entry in reply["results"]] == [True] * 4
+        assert server.engine.num_batch_queries == backend_batches + 1
+
+    def test_bad_item_isolated_per_entry(self, server, sample_hw):
+        payload = {
+            "hw": encode_object(sample_hw),
+            "layer": "gemm",
+            "mappings": [
+                encode_object(GemmMapping(4, 8, 4)),
+                {"type": "Mystery", "fields": {}},
+            ],
+        }
+        request = Request(f"{server.url}/evaluate_candidates",
+                          data=json.dumps(payload).encode(),
+                          headers={"Content-Type": "application/json"})
+        with urlopen(request) as response:
+            reply = json.loads(response.read())
+        assert reply["results"][0]["ok"] is True
+        assert reply["results"][1]["ok"] is False
+        assert "Mystery" in reply["results"][1]["error"]
+
+    def test_mappings_must_be_list(self, server, sample_hw):
+        import urllib.error
+
+        request = Request(f"{server.url}/evaluate_candidates",
+                          data=json.dumps({"hw": encode_object(sample_hw),
+                                           "layer": "gemm",
+                                           "mappings": "nope"}).encode(),
+                          headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urlopen(request)
+        assert exc_info.value.code == 400
+
+
 class TestMetricsEndpoint:
     def test_engine_and_service_stats_exposed(self, server, remote, sample_hw):
         remote.evaluate_layer(sample_hw, GemmMapping(4, 8, 4), "gemm")

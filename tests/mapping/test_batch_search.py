@@ -1,0 +1,105 @@
+"""Speculative batching must not change search trajectories.
+
+``batch_size > 1`` drafts proposals ahead of time, evaluates them through
+one vectorized engine call, then *replays* the proposals under the true
+post-fold state — so the history, the monotone best-so-far curve, the
+incumbents and the final RNG state are byte-identical to the scalar loop,
+for every tool (speculation-safe ones reuse the batch results; the rest
+silently fall back to scalar stepping).
+"""
+
+import pytest
+
+from repro.costmodel import MaestroEngine
+from repro.errors import SearchBudgetError
+from repro.mapping.cosa import CosaMapper
+from repro.mapping.flextensor import FlexTensorSearch
+from repro.mapping.gamma import GammaSearch
+from repro.mapping.random_search import RandomMappingSearch
+
+ALL_TOOLS = [FlexTensorSearch, RandomMappingSearch, GammaSearch, CosaMapper]
+
+
+def _run(tool_cls, network, hw, batch_size, budgets=(40, 23), seed=7):
+    engine = MaestroEngine(network)
+    search = tool_cls(
+        network, hw, engine, objective="latency", seed=seed, batch_size=batch_size
+    )
+    for budget in budgets:  # uneven rounds cross batch boundaries
+        search.run(budget)
+    return search
+
+
+@pytest.mark.parametrize("tool_cls", ALL_TOOLS)
+def test_batched_history_identical_to_scalar(tool_cls, tiny_network, sample_hw):
+    scalar = _run(tool_cls, tiny_network, sample_hw, batch_size=1)
+    batched = _run(tool_cls, tiny_network, sample_hw, batch_size=8)
+    assert len(scalar.history) == len(batched.history) == 63
+    for a, b in zip(scalar.history, batched.history):
+        assert a == b  # every field of every MappingSearchPoint
+    assert scalar.best_layer_mapping == batched.best_layer_mapping
+    assert scalar.rng.bit_generator.state == batched.rng.bit_generator.state
+
+
+def test_random_search_speculation_never_misses(tiny_network, sample_hw):
+    """Pure-RNG proposals replay with a 100% batch-pool hit rate."""
+    batched = _run(RandomMappingSearch, tiny_network, sample_hw, batch_size=8)
+    assert batched.num_speculative_evals == 63
+    assert batched.num_speculation_misses == 0
+    # and therefore the engine charged exactly the scalar query count
+    scalar = _run(RandomMappingSearch, tiny_network, sample_hw, batch_size=1)
+    assert batched.engine.num_queries == scalar.engine.num_queries
+
+
+def test_stateful_tools_fall_back_honestly(tiny_network, sample_hw):
+    """Fold-dependent proposals may mispredict; misses are counted, not hidden."""
+    batched = _run(FlexTensorSearch, tiny_network, sample_hw, batch_size=8)
+    assert batched.num_speculative_evals > 0
+    # Metropolis folds consume RNG, so some replays diverge from the drafts
+    assert batched.num_speculation_misses > 0
+
+
+def test_non_speculative_tool_skips_batching(tiny_network, sample_hw):
+    """CoSA pops a queue in _propose; it must never enter the batch path."""
+    assert CosaMapper.supports_speculation is False
+    batched = _run(CosaMapper, tiny_network, sample_hw, batch_size=8)
+    assert batched.num_speculative_evals == 0
+    assert batched.engine.num_batch_queries == 0
+
+
+def test_batch_size_one_uses_scalar_path(tiny_network, sample_hw):
+    search = _run(RandomMappingSearch, tiny_network, sample_hw, batch_size=1)
+    assert search.num_speculative_evals == 0
+    assert search.engine.num_batch_queries == 0
+
+
+def test_engine_without_batch_api_still_works(tiny_network, sample_hw):
+    """A speculation-safe tool over an engine lacking evaluate_candidates."""
+
+    class MinimalEngine:
+        def __init__(self, inner):
+            self._inner = inner
+            self.tech = inner.tech
+
+        def evaluate_layer(self, hw, mapping, layer_name):
+            return self._inner.evaluate_layer(hw, mapping, layer_name)
+
+        def area_mm2(self, hw):
+            return self._inner.area_mm2(hw)
+
+    engine = MinimalEngine(MaestroEngine(tiny_network))
+    batched = RandomMappingSearch(
+        tiny_network, sample_hw, engine, seed=7, batch_size=8
+    )
+    batched.run(20)
+    reference = _run(
+        RandomMappingSearch, tiny_network, sample_hw, batch_size=1, budgets=(20,)
+    )
+    assert [p.best_objective for p in batched.history] == [
+        p.best_objective for p in reference.history
+    ]
+
+
+def test_invalid_batch_size_rejected(tiny_network, sample_hw, tiny_engine):
+    with pytest.raises(SearchBudgetError):
+        RandomMappingSearch(tiny_network, sample_hw, tiny_engine, batch_size=0)

@@ -108,6 +108,26 @@ class TestJournalTracker:
             == result.extras["iteration_records"]
         )
 
+    def test_evaluation_events_record_batch_membership(
+        self, tiny_network, edge_space, tmp_path
+    ):
+        """UNICO stamps each evaluation with its HW batch; scalar callers
+        (finish_candidate without batch args) keep the historical shape."""
+        run = RunStore(tmp_path / "runs").create_run(dict(MANIFEST))
+        _fresh_unico(
+            tiny_network, edge_space, tracker=JournalTracker(run)
+        ).optimize()
+        evals = [
+            e for e in read_events(run.journal_path).events
+            if e["type"] == "evaluation"
+        ]
+        assert evals
+        for event in evals:
+            assert event["batch_id"] >= 0
+            assert event["batch_size"] >= 1
+        # batch ids partition the evaluations into the two iterations
+        assert {e["batch_id"] for e in evals} == {0, 1}
+
     def test_tracking_does_not_perturb_search(
         self, tiny_network, edge_space, tmp_path
     ):
