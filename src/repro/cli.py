@@ -66,6 +66,10 @@ def _print_result(result, method: str, network: str, scenario: str) -> None:
 
 
 def _cmd_run(args) -> int:
+    if args.trace and not args.track:
+        print("error: --trace requires --track (spans live in the run "
+              "directory)", file=sys.stderr)
+        return 2
     result = run_method(
         args.method,
         args.scenario,
@@ -75,8 +79,12 @@ def _cmd_run(args) -> int:
         run_store=args.runs_dir if args.track else None,
         checkpoint_every=args.checkpoint_every,
         eval_batch_size=args.batch_size,
+        trace=args.trace,
     )
     _print_result(result, args.method, args.network, args.scenario)
+    if "trace_path" in result.extras:
+        print(f"trace written to {result.extras['trace_path']} "
+              f"(trace id {result.extras['trace_id']})")
     return 0
 
 
@@ -172,6 +180,52 @@ def _print_batch_throughput(run) -> None:
             f"  {'engine_mean_batch':<22s} "
             f"{float(snapshot.get('mean_batch_size', 0.0)):.1f}"
         )
+
+
+def _cmd_runs_profile(args) -> int:
+    from repro.obs.profile import (
+        build_profile,
+        render_profile,
+        spans_from_journal,
+    )
+    from repro.tracking import RunStore
+
+    run = RunStore(args.runs_dir).get(args.run_id)
+    spans = spans_from_journal(run.journal_path)
+    if not spans:
+        print(
+            f"run {run.run_id} has no recorded spans — was it run with "
+            "--trace?",
+            file=sys.stderr,
+        )
+        return 1
+    profile = build_profile(spans, top_n=args.top)
+    print(f"run {run.run_id}: {profile.num_spans} spans, "
+          f"{profile.total_wall_s:.2f}s wall, "
+          f"{profile.total_sim_s / 3600.0:.2f}h simulated")
+    print(render_profile(profile))
+    return 0
+
+
+def _cmd_runs_trace(args) -> int:
+    from repro.obs.chrome import write_chrome_trace
+    from repro.obs.profile import spans_from_journal
+    from repro.tracking import RunStore
+
+    run = RunStore(args.runs_dir).get(args.run_id)
+    spans = spans_from_journal(run.journal_path)
+    if not spans:
+        print(
+            f"run {run.run_id} has no recorded spans — was it run with "
+            "--trace?",
+            file=sys.stderr,
+        )
+        return 1
+    out = args.out if args.out else str(run.dir / "trace.json")
+    path = write_chrome_trace(spans, out)
+    print(f"wrote {len(spans)} spans to {path} "
+          "(load in https://ui.perfetto.dev or chrome://tracing)")
+    return 0
 
 
 def _cmd_runs_tail(args) -> int:
@@ -285,9 +339,21 @@ def _cmd_serve(args) -> int:
     else:
         engine = AscendCAEngine(network, noise_fraction=0.08)
         engine.cache_capacity = capacity
-    server = PPAServiceServer(engine, host=args.host, port=args.port)
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+    server = PPAServiceServer(
+        engine, host=args.host, port=args.port, tracer=tracer
+    )
     server.start()
     print(f"PPA service ({args.engine}, workload {args.network}) at {server.url}")
+    if args.trace:
+        print(
+            "request tracing on: spans return to tracing clients via the "
+            "X-Repro-Span header"
+        )
     print(f"metrics at {server.url}/metrics  (or: python -m repro stats {server.url})")
     print("Ctrl-C to stop.")
     try:
@@ -304,6 +370,17 @@ def _cmd_stats(args) -> int:
     from urllib.request import urlopen
 
     url = args.url.rstrip("/")
+    if args.prom:
+        try:
+            with urlopen(
+                f"{url}/metrics?format=prom", timeout=args.timeout
+            ) as response:
+                print(response.read().decode("utf-8"), end="")
+        except OSError as error:
+            print(f"error: cannot reach PPA service at {url}: {error}",
+                  file=sys.stderr)
+            return 1
+        return 0
     try:
         with urlopen(f"{url}/metrics", timeout=args.timeout) as response:
             payload = json.load(response)
@@ -426,6 +503,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="speculative batch width of the inner mapping search "
              "(candidates per vectorized PPA-engine call; 1 = scalar loop)",
     )
+    run_parser.add_argument(
+        "--trace", action="store_true",
+        help="record hierarchical spans (requires --track); writes "
+             "runs/<id>/trace.json and journals span events for "
+             "`runs profile`",
+    )
     run_parser.set_defaults(fn=_cmd_run)
 
     runs_parser = sub.add_parser(
@@ -443,6 +526,27 @@ def build_parser() -> argparse.ArgumentParser:
     runs_show.add_argument("run_id")
     runs_show.add_argument("--runs-dir", default="runs")
     runs_show.set_defaults(fn=_cmd_runs_show)
+
+    runs_profile = runs_sub.add_parser(
+        "profile", help="per-phase wall/sim time breakdown of a traced run"
+    )
+    runs_profile.add_argument("run_id")
+    runs_profile.add_argument("--runs-dir", default="runs")
+    runs_profile.add_argument(
+        "--top", type=int, default=5, help="slowest individual spans to list"
+    )
+    runs_profile.set_defaults(fn=_cmd_runs_profile)
+
+    runs_trace = runs_sub.add_parser(
+        "trace", help="export a traced run's spans as Chrome trace JSON"
+    )
+    runs_trace.add_argument("run_id")
+    runs_trace.add_argument("--runs-dir", default="runs")
+    runs_trace.add_argument(
+        "--out", default=None,
+        help="output path (default: the run's trace.json)",
+    )
+    runs_trace.set_defaults(fn=_cmd_runs_trace)
 
     runs_tail = runs_sub.add_parser("tail", help="print a run's last events")
     runs_tail.add_argument("run_id")
@@ -521,6 +625,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-capacity", type=int, default=100_000,
         help="LRU bound on the engine result cache (0 = unbounded)",
     )
+    serve_parser.add_argument(
+        "--trace", action="store_true",
+        help="open a span per request and return it to tracing clients",
+    )
     serve_parser.set_defaults(fn=_cmd_serve)
 
     stats_parser = sub.add_parser(
@@ -530,6 +638,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("--timeout", type=float, default=5.0)
     stats_parser.add_argument(
         "--json", action="store_true", help="print the raw /metrics JSON"
+    )
+    stats_parser.add_argument(
+        "--prom", action="store_true",
+        help="print the Prometheus text exposition (/metrics?format=prom)",
     )
     stats_parser.set_defaults(fn=_cmd_stats)
 

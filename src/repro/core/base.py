@@ -26,6 +26,7 @@ from repro.costmodel.engine import PPAEngine
 from repro.costmodel.results import NetworkPPA
 from repro.hw.space import DiscreteDesignSpace
 from repro.mapping.gemm_mapping import NetworkMapping
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.optim.pareto import ParetoFront
 from repro.tracking.tracker import NullTracker, Tracker
 from repro.utils.clock import SimulatedClock
@@ -136,6 +137,19 @@ class CoOptimizer(ABC):
         #: observer of search events (journaling, checkpointing); the
         #: default NullTracker keeps the untracked hot path free
         self.tracker: Tracker = tracker if tracker is not None else NullTracker()
+        #: span tracer (time attribution); NULL_TRACER unless a traced run
+        #: installs a real one via :meth:`set_tracer`
+        self.tracer: Tracer = NULL_TRACER
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Install a span tracer on this optimizer and its engine.
+
+        Sub-components read the tracer through the engine (the one object
+        every layer of the stack already shares), so installing it here is
+        enough to light up engine-eval and mapping-search spans too.
+        """
+        self.tracer = tracer
+        self.engine.tracer = tracer
 
     # --------------------------------------------------------------- plumbing
     def new_trial(self, hw) -> SWSearchTrial:

@@ -209,29 +209,68 @@ class Unico(CoOptimizer):
         spent = {i: 0 for i in active}
         init_charged = {i: False for i in active}
         for plan_index, plan in enumerate(plans):
-            round_args = []
-            for trial_id in active:
-                additional = plan.cumulative_budget - spent[trial_id]
-                round_args.append((trials[trial_id], additional))
-                if additional > 0:
-                    spent[trial_id] = plan.cumulative_budget
-            deltas = self.runner.starmap(_advance_trial, round_args)
-            durations: List[float] = []
-            for trial_id, delta in zip(active, deltas):
-                duration_queries = delta
-                if not init_charged[trial_id]:
-                    # initialization evals = queries spent before this round
-                    duration_queries += trials[trial_id].queries_spent - delta
-                    init_charged[trial_id] = True
-                durations.append(duration_queries * self.engine.eval_cost_s)
-            self.clock.advance_parallel(durations, label="sw-search")
-            if plan_index == len(plans) - 1:
+            # NullTracer.span is a shared no-op; sim time inside this span
+            # is the round's advance_parallel makespan, so traces attribute
+            # simulated search cost at MSH-round granularity.
+            with self.tracer.span(
+                "msh_round",
+                round=plan_index,
+                budget=plan.cumulative_budget,
+                active=len(active),
+            ) as round_span:
+                round_args = []
+                for trial_id in active:
+                    additional = plan.cumulative_budget - spent[trial_id]
+                    round_args.append((trials[trial_id], additional))
+                    if additional > 0:
+                        spent[trial_id] = plan.cumulative_budget
+                deltas = self.runner.starmap(_advance_trial, round_args)
+                durations: List[float] = []
+                for trial_id, delta in zip(active, deltas):
+                    duration_queries = delta
+                    if not init_charged[trial_id]:
+                        # initialization evals = queries spent before this round
+                        duration_queries += trials[trial_id].queries_spent - delta
+                        init_charged[trial_id] = True
+                    durations.append(duration_queries * self.engine.eval_cost_s)
+                self.clock.advance_parallel(durations, label="sw-search")
+                if plan_index == len(plans) - 1:
+                    if self.tracker.enabled:
+                        tv = {
+                            i: terminal_value(trials[i].best_curve())
+                            for i in active
+                        }
+                        auc = {
+                            i: relative_auc_score(trials[i].best_curve())
+                            for i in active
+                        }
+                        self.tracker.on_msh_round(
+                            self,
+                            self._current_iteration,
+                            plan_index,
+                            plan.cumulative_budget,
+                            list(active),
+                            tv,
+                            auc,
+                            list(active),
+                            [],
+                        )
+                    round_span.set_attribute("survivors", len(active))
+                    break
+                keep = min(plans[plan_index + 1].num_candidates, len(active))
+                promotions = 0
+                if config.use_msh:
+                    promotions = min(
+                        int(np.floor(config.auc_fraction * len(trials))), keep
+                    )
+                tv = {i: terminal_value(trials[i].best_curve()) for i in active}
+                auc = {
+                    i: relative_auc_score(trials[i].best_curve()) for i in active
+                }
+                survivors, promoted = select_survivors_detailed(
+                    active, tv, auc, keep, promotions
+                )
                 if self.tracker.enabled:
-                    tv = {i: terminal_value(trials[i].best_curve()) for i in active}
-                    auc = {
-                        i: relative_auc_score(trials[i].best_curve())
-                        for i in active
-                    }
                     self.tracker.on_msh_round(
                         self,
                         self._current_iteration,
@@ -240,112 +279,112 @@ class Unico(CoOptimizer):
                         list(active),
                         tv,
                         auc,
-                        list(active),
-                        [],
+                        list(survivors),
+                        promoted,
                     )
-                break
-            keep = min(plans[plan_index + 1].num_candidates, len(active))
-            promotions = 0
-            if config.use_msh:
-                promotions = min(
-                    int(np.floor(config.auc_fraction * len(trials))), keep
-                )
-            tv = {i: terminal_value(trials[i].best_curve()) for i in active}
-            auc = {i: relative_auc_score(trials[i].best_curve()) for i in active}
-            survivors, promoted = select_survivors_detailed(
-                active, tv, auc, keep, promotions
-            )
-            if self.tracker.enabled:
-                self.tracker.on_msh_round(
-                    self,
-                    self._current_iteration,
-                    plan_index,
-                    plan.cumulative_budget,
-                    list(active),
-                    tv,
-                    auc,
-                    list(survivors),
-                    promoted,
-                )
-            active = survivors
+                round_span.set_attribute("survivors", len(survivors))
+                active = survivors
 
     # ----------------------------------------------------------------- driver
     def optimize(self) -> CoSearchResult:
         config = self.config
         self.clock.workers = config.workers
+        # the sampler is built in __init__, before any set_tracer() call
+        self.sampler.tracer = self.tracer
         self.tracker.on_run_start(self)
-        for iteration in range(self.completed_iterations, config.max_iterations):
-            if (
-                config.time_budget_s is not None
-                and self.clock.now_s >= config.time_budget_s
+        # the run span must finish before tracker.on_run_end, which closes
+        # the journal the JournalSpanSink writes into
+        with self.tracer.span(
+            "run", method=self.method_name, network=self.network.name
+        ) as run_span:
+            for iteration in range(
+                self.completed_iterations, config.max_iterations
             ):
-                break
-            self._current_iteration = iteration
-            self.tracker.on_iteration_start(self, iteration)
-            # (1) batch sampling guided by the high-fidelity surrogate
-            incumbents = [design.hw for design in self.pareto.items]
-            batch = self.sampler.suggest_batch(
-                self.train_configs,
-                self._normalized_training_set(),
-                config.batch_size,
-                incumbents=incumbents,
-            )
-            self.clock.advance(config.mobo_overhead_s, label="mobo")
-            if iteration == 0 and config.initial_configs:
-                seeds = list(config.initial_configs)[: len(batch)]
-                batch = seeds + batch[len(seeds):]
-            if not batch:
-                break
-            if self.tracker.enabled:
-                self.tracker.on_hw_sampled(self, iteration, batch)
-            # (2) adaptive SW mapping search via (M)SH
-            trials = [self.new_trial(hw) for hw in batch]
-            self._run_msh(trials)
-            # (3) assess every candidate
-            batch_evaluations = [
-                self.finish_candidate(
-                    trial, batch_id=iteration, batch_size=len(trials)
-                )
-                for trial in trials
-            ]
-            self.evaluations.extend(batch_evaluations)
-            for evaluation in batch_evaluations:
-                self.normalizer.observe(evaluation.objectives)
-            # (4) high-fidelity surrogate update
-            normalized = np.vstack(
-                [
-                    self.normalizer.transform(evaluation.objectives)
-                    for evaluation in batch_evaluations
-                ]
-            )
-            uul_before = self.selector.uul
-            selected, scalars = self.selector.select(normalized)
-            if self.tracker.enabled:
-                self.tracker.on_surrogate_update(
-                    self, iteration, scalars, selected, uul_before,
-                    self.selector.uul,
-                )
-            for index in np.flatnonzero(selected):
-                self.train_configs.append(batch[index])
-                self.train_objectives_raw.append(
-                    batch_evaluations[index].objectives
-                )
-            record = IterationRecord(
-                iteration=iteration,
-                time_s=self.clock.now_s,
-                uul=self.selector.uul,
-                num_selected=int(selected.sum()),
-                num_feasible=sum(
-                    1 for evaluation in batch_evaluations if evaluation.feasible
-                ),
-                pareto_size=len(self.pareto),
-                best_scalar=float(np.min(scalars[np.isfinite(scalars)]))
-                if np.isfinite(scalars).any()
-                else float("inf"),
-            )
-            self.iteration_records.append(record)
-            self.completed_iterations = iteration + 1
-            self.tracker.on_iteration_end(self, record)
+                if (
+                    config.time_budget_s is not None
+                    and self.clock.now_s >= config.time_budget_s
+                ):
+                    break
+                self._current_iteration = iteration
+                with self.tracer.span(
+                    "iteration", iteration=iteration
+                ) as iteration_span:
+                    self.tracker.on_iteration_start(self, iteration)
+                    # (1) batch sampling guided by the high-fidelity surrogate
+                    incumbents = [design.hw for design in self.pareto.items]
+                    with self.tracer.span(
+                        "mobo_sample", train_size=len(self.train_configs)
+                    ):
+                        batch = self.sampler.suggest_batch(
+                            self.train_configs,
+                            self._normalized_training_set(),
+                            config.batch_size,
+                            incumbents=incumbents,
+                        )
+                        self.clock.advance(config.mobo_overhead_s, label="mobo")
+                    if iteration == 0 and config.initial_configs:
+                        seeds = list(config.initial_configs)[: len(batch)]
+                        batch = seeds + batch[len(seeds):]
+                    if not batch:
+                        break
+                    if self.tracker.enabled:
+                        self.tracker.on_hw_sampled(self, iteration, batch)
+                    # (2) adaptive SW mapping search via (M)SH
+                    with self.tracer.span("trial_init", batch=len(batch)):
+                        trials = [self.new_trial(hw) for hw in batch]
+                    self._run_msh(trials)
+                    # (3) assess every candidate
+                    with self.tracer.span("assess", batch=len(trials)):
+                        batch_evaluations = [
+                            self.finish_candidate(
+                                trial, batch_id=iteration, batch_size=len(trials)
+                            )
+                            for trial in trials
+                        ]
+                    self.evaluations.extend(batch_evaluations)
+                    for evaluation in batch_evaluations:
+                        self.normalizer.observe(evaluation.objectives)
+                    # (4) high-fidelity surrogate update
+                    with self.tracer.span("surrogate_update"):
+                        normalized = np.vstack(
+                            [
+                                self.normalizer.transform(evaluation.objectives)
+                                for evaluation in batch_evaluations
+                            ]
+                        )
+                        uul_before = self.selector.uul
+                        selected, scalars = self.selector.select(normalized)
+                    if self.tracker.enabled:
+                        self.tracker.on_surrogate_update(
+                            self, iteration, scalars, selected, uul_before,
+                            self.selector.uul,
+                        )
+                    for index in np.flatnonzero(selected):
+                        self.train_configs.append(batch[index])
+                        self.train_objectives_raw.append(
+                            batch_evaluations[index].objectives
+                        )
+                    record = IterationRecord(
+                        iteration=iteration,
+                        time_s=self.clock.now_s,
+                        uul=self.selector.uul,
+                        num_selected=int(selected.sum()),
+                        num_feasible=sum(
+                            1
+                            for evaluation in batch_evaluations
+                            if evaluation.feasible
+                        ),
+                        pareto_size=len(self.pareto),
+                        best_scalar=float(np.min(scalars[np.isfinite(scalars)]))
+                        if np.isfinite(scalars).any()
+                        else float("inf"),
+                    )
+                    self.iteration_records.append(record)
+                    self.completed_iterations = iteration + 1
+                    iteration_span.set_attribute("pareto_size", len(self.pareto))
+                    self.tracker.on_iteration_end(self, record)
+            run_span.set_attribute("iterations", len(self.iteration_records))
+            run_span.set_attribute("pareto_size", len(self.pareto))
         result = self.make_result(
             extras={
                 "iterations": len(self.iteration_records),

@@ -47,6 +47,7 @@ from repro.costmodel.maestro_batch import analyze_gemm_batch
 from repro.costmodel.technology import DEFAULT_TECHNOLOGY, Technology
 from repro.errors import ConfigurationError, EvaluationError
 from repro.hw.spatial import SpatialHWConfig
+from repro.obs.trace import NULL_TRACER
 from repro.utils.clock import SimulatedClock
 from repro.utils.metrics import (
     DEFAULT_BATCH_SIZE_BOUNDS,
@@ -111,6 +112,9 @@ class PPAEngine(ABC):
         #: when False, a co-optimizer owns wall-clock accounting (e.g. to
         #: model parallel workers) and the engine only counts queries.
         self.charge_clock = True
+        #: span tracer; the shared :data:`~repro.obs.trace.NULL_TRACER` by
+        #: default, so untraced queries pay one attribute check.
+        self.tracer = NULL_TRACER
 
     # -- subclass contract ----------------------------------------------------
     @abstractmethod
@@ -204,13 +208,32 @@ class PPAEngine(ABC):
     # -- service API ------------------------------------------------------------
     def evaluate_layer(self, hw, mapping: "GemmMapping", layer_name: str) -> LayerPPA:
         """Evaluate one layer; charges the clock, caches the computation."""
+        # tracing uses the leaf fast path (tracer.record_leaf): this method
+        # runs hundreds of thousands of times per search, and the full span
+        # context manager costs several microseconds per call.  Untraced
+        # queries pay only the ``tracer.enabled`` checks.
+        tracer = self.tracer
+        if tracer.enabled:
+            clock = tracer.clock
+            sim_start = clock.now_s if clock is not None else 0.0
+            wall_start = time.perf_counter()
         shape = self._charge_query(layer_name)
         key = (self.hw_key(hw), layer_name, mapping.key())
         cached = self._cache_lookup(key)
         if cached is not None:
+            if tracer.enabled:
+                tracer.record_leaf(
+                    "engine_eval", wall_start, sim_start,
+                    layer=layer_name, cache_hit=True,
+                )
             return cached
         result = self._timed_compute(hw, mapping, layer_name, shape)
         self._cache_store(key, result)
+        if tracer.enabled:
+            tracer.record_leaf(
+                "engine_eval", wall_start, sim_start,
+                layer=layer_name, cache_hit=False,
+            )
         return result
 
     def evaluate_layers(
@@ -243,6 +266,17 @@ class PPAEngine(ABC):
         batch records no compute time at all.
         """
         mappings = list(mappings)
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "engine_eval_batch", layer=layer_name, batch=len(mappings)
+            ):
+                return self._evaluate_candidates_impl(hw, layer_name, mappings)
+        return self._evaluate_candidates_impl(hw, layer_name, mappings)
+
+    def _evaluate_candidates_impl(
+        self, hw, layer_name: str, mappings: List["GemmMapping"]
+    ) -> List[LayerPPA]:
+        """Untraced body of :meth:`evaluate_candidates`."""
         if layer_name not in self.layer_shapes:
             raise EvaluationError(
                 f"layer {layer_name!r} not in workload {self.network.name!r}"

@@ -41,6 +41,7 @@ from http.client import HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 from urllib.error import HTTPError, URLError
+from urllib.parse import parse_qs, urlsplit
 from urllib.request import Request, urlopen
 
 from repro.camodel.mapping import AscendMapping
@@ -50,7 +51,19 @@ from repro.errors import EvaluationError
 from repro.hw.ascend import AscendHWConfig
 from repro.hw.spatial import SpatialHWConfig
 from repro.mapping.gemm_mapping import GemmMapping
+from repro.obs.prom import render_prometheus
+from repro.obs.trace import (
+    NULL_TRACER,
+    Tracer,
+    format_trace_context,
+    parse_trace_context,
+)
 from repro.utils.metrics import MetricsRegistry
+
+#: Version of the ``GET /metrics`` JSON document (engine stats + registry
+#: snapshot); bumped when the response shape changes so scrapers can detect
+#: drift instead of diffing noisy dicts.
+METRICS_SCHEMA_VERSION = 1
 
 _HW_TYPES: Dict[str, type] = {
     "SpatialHWConfig": SpatialHWConfig,
@@ -153,9 +166,15 @@ class PPAServiceServer:
         host: str = "127.0.0.1",
         port: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.engine = engine
         self.metrics = metrics if metrics is not None else engine.metrics
+        #: server-side span tracer.  With a real tracer, every POST opens a
+        #: ``service<path>`` span whose finished form travels back in the
+        #: ``X-Repro-Span`` response header, letting tracing clients stitch
+        #: it into their own trace.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         handler = self._make_handler()
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None
@@ -172,15 +191,28 @@ class PPAServiceServer:
     def _make_handler(self):
         engine = self.engine
         metrics = self.metrics
+        tracer = self.tracer
 
         class Handler(BaseHTTPRequestHandler):
             def log_message(self, fmt, *args):  # silence request logging
                 pass
 
+            def _finish_span(self, status: int) -> Optional[str]:
+                """Close the request span, returning its wire JSON."""
+                span = getattr(self, "_span", None)
+                self._span = None
+                if span is None:
+                    return None
+                span.set_attribute("status", status)
+                return json.dumps(tracer.finish_span(span))
+
             def _reply(self, status: int, payload: Dict) -> None:
-                body = json.dumps(payload).encode("utf-8")
+                span_json = self._finish_span(status)
+                body = json.dumps(payload, sort_keys=True).encode("utf-8")
                 self.send_response(status)
                 self.send_header("Content-Type", "application/json")
+                if span_json is not None:
+                    self.send_header("X-Repro-Span", span_json)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
@@ -188,8 +220,21 @@ class PPAServiceServer:
                 if status >= 400:
                     metrics.counter("service_errors_total").inc()
 
+            def _reply_text(self, status: int, text: str) -> None:
+                """Plain-text reply (the Prometheus exposition path)."""
+                body = text.encode("utf-8")
+                self.send_response(status)
+                self.send_header(
+                    "Content-Type", "text/plain; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                metrics.counter(f"service_requests_total[{self.path}]").inc()
+
             def do_GET(self):
-                if self.path == "/health":
+                parsed = urlsplit(self.path)
+                if parsed.path == "/health":
                     self._reply(
                         200,
                         {
@@ -198,10 +243,20 @@ class PPAServiceServer:
                             "queries": engine.num_queries,
                         },
                     )
-                elif self.path == "/metrics":
+                elif parsed.path == "/metrics":
+                    wants = parse_qs(parsed.query).get("format", ["json"])
+                    if wants and wants[-1] == "prom":
+                        self._reply_text(
+                            200, render_prometheus(metrics.snapshot())
+                        )
+                        return
                     self._reply(
                         200,
-                        {"engine": engine.stats(), "metrics": metrics.snapshot()},
+                        {
+                            "schema_version": METRICS_SCHEMA_VERSION,
+                            "engine": engine.stats(),
+                            "metrics": metrics.snapshot(),
+                        },
                     )
                 else:
                     self._reply(404, {"error": f"unknown path {self.path}"})
@@ -252,6 +307,20 @@ class PPAServiceServer:
 
             def do_POST(self):
                 start = time.perf_counter()
+                self._span = None
+                if tracer.enabled:
+                    context = parse_trace_context(
+                        self.headers.get("X-Repro-Trace")
+                    )
+                    span = tracer.start_span(
+                        f"service{self.path}",
+                        parent_id=context[1] if context else None,
+                    )
+                    if context:
+                        # adopt the caller's trace identity so server-side
+                        # sinks record the request under the client's trace
+                        span.trace_id = context[0]
+                    self._span = span
                 length = int(self.headers.get("Content-Length", 0))
                 try:
                     request = json.loads(self.rfile.read(length))
@@ -447,12 +516,30 @@ class RemotePPAEngine(PPAEngine):
             return str(error)
 
     def _request_json(self, path: str, payload: Optional[Dict] = None) -> Dict:
-        """One logical request: breaker gate, transport retries, JSON reply."""
+        """One logical request: breaker gate, transport retries, JSON reply.
+
+        Under a tracing client the request gets a ``remote<path>`` span,
+        the trace context travels out in ``X-Repro-Trace``, and a
+        server-side span returned in ``X-Repro-Span`` is adopted into the
+        client trace (see :meth:`Tracer.record_remote`).
+        """
+        if self.tracer.enabled:
+            with self.tracer.span("remote" + path) as span:
+                return self._request_json_impl(path, payload, span)
+        return self._request_json_impl(path, payload, None)
+
+    def _request_json_impl(
+        self, path: str, payload: Optional[Dict], span
+    ) -> Dict:
+        """Untraced transport loop behind :meth:`_request_json`."""
         self._breaker_check()
         data = (
             json.dumps(payload).encode("utf-8") if payload is not None else None
         )
         self.metrics.counter("remote_requests_total").inc()
+        headers = {"Content-Type": "application/json"}
+        if span is not None:
+            headers["X-Repro-Trace"] = format_trace_context(self.tracer, span)
         last_error: Optional[EvaluationError] = None
         for attempt in range(self.max_network_retries + 1):
             if attempt:
@@ -463,17 +550,26 @@ class RemotePPAEngine(PPAEngine):
                 request = Request(
                     f"{self.base_url}{path}",
                     data=data,
-                    headers={"Content-Type": "application/json"},
+                    headers=dict(headers),
                     method="POST" if data is not None else "GET",
                 )
                 start = time.perf_counter()
                 with urlopen(request, timeout=self.timeout_s) as response:
                     body = response.read()
+                    server_span = response.headers.get("X-Repro-Span")
+                elapsed = time.perf_counter() - start
                 self.metrics.histogram("remote_request_seconds").observe(
-                    time.perf_counter() - start
+                    elapsed
                 )
                 reply = json.loads(body)
                 self._breaker_record(success=True)
+                if span is not None and server_span:
+                    try:
+                        self.tracer.record_remote(
+                            json.loads(server_span), span, elapsed
+                        )
+                    except (json.JSONDecodeError, TypeError, ValueError):
+                        pass  # a garbled span header must not fail the query
                 return reply
             except HTTPError as error:
                 detail = self._http_error_detail(error)

@@ -242,6 +242,7 @@ def run_method(
     run_store=None,
     checkpoint_every: int = 1,
     eval_batch_size: int = 1,
+    trace: bool = False,
 ) -> CoSearchResult:
     """Run one (method, scenario, workload) cell and return its result.
 
@@ -254,11 +255,23 @@ def run_method(
     itself (the non-UNICO baselines) get ``run_start`` / ``run_end``
     emitted by the harness, so their manifests still reach a terminal
     status.
+
+    Tracing: ``trace=True`` (requires ``run_store``) installs a
+    :class:`~repro.obs.trace.Tracer` whose spans land both in the run's
+    journal (``span`` events) and in ``runs/<run-id>/trace.json``
+    (Chrome trace format); the trace id lands in
+    ``result.extras["trace_id"]``.  Tracing is observational — results
+    are bit-identical to an untraced run with the same seeds.
     """
     if tracker is not None and run_store is not None:
         raise ConfigurationError(
             "pass either tracker= or run_store=, not both; run_store builds "
             "its own JournalTracker and would silently ignore the tracker"
+        )
+    if trace and run_store is None:
+        raise ConfigurationError(
+            "trace=True requires run_store=: spans are journaled and the "
+            "Chrome trace is written into the run directory"
         )
     optimizer = build_optimizer(
         method,
@@ -298,6 +311,19 @@ def run_method(
         tracker = JournalTracker(run, checkpoint_every=checkpoint_every)
     if tracker is not None:
         optimizer.tracker = tracker
+    tracer = None
+    if trace and run is not None:
+        from repro.obs.chrome import ChromeTraceSink
+        from repro.obs.trace import JournalSpanSink, Tracer
+
+        tracer = Tracer(
+            clock=optimizer.clock,
+            sinks=[
+                JournalSpanSink(tracker.journal),
+                ChromeTraceSink(run.dir / "trace.json"),
+            ],
+        )
+        optimizer.set_tracer(tracer)
     harness_lifecycle = (
         tracker is not None and not optimizer.emits_lifecycle_events
     )
@@ -309,12 +335,19 @@ def run_method(
         if tracker is not None:
             tracker.on_run_failed(optimizer, error)
         raise
+    finally:
+        if tracer is not None:
+            # journal spans were appended live; this writes trace.json
+            tracer.flush()
     if harness_lifecycle:
         tracker.on_run_end(optimizer, result)
     result.extras["method_requested"] = method
     result.extras["scenario"] = scenario
     if run is not None:
         result.extras["run_id"] = run.run_id
+    if tracer is not None:
+        result.extras["trace_id"] = tracer.trace_id
+        result.extras["trace_path"] = str(run.dir / "trace.json")
     result.method = method
     return result
 

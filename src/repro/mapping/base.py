@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING
 
 from repro.costmodel.results import LayerPPA, NetworkPPA
 from repro.errors import SearchBudgetError
+from repro.obs.trace import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from repro.costmodel.engine import PPAEngine
@@ -245,6 +246,22 @@ class AnytimeMappingSearch(ABC):
             raise SearchBudgetError(
                 f"additional_budget must be >= 0, got {additional_budget}"
             )
+        # duck-typed engines (tests) may lack ``tracer``; default to the null one
+        tracer = getattr(self.engine, "tracer", NULL_TRACER)
+        if tracer.enabled:
+            with tracer.span(
+                "mapping_search", tool=self.name, budget=additional_budget
+            ) as span:
+                self._run_impl(additional_budget)
+                span.set_attribute("spent_budget", self.spent_budget)
+                span.set_attribute(
+                    "speculative_evals", self.num_speculative_evals
+                )
+            return self
+        return self._run_impl(additional_budget)
+
+    def _run_impl(self, additional_budget: int) -> "AnytimeMappingSearch":
+        """Untraced budget-consumption loop behind :meth:`run`."""
         remaining = additional_budget
         while remaining > 0:
             if self.batch_size > 1 and remaining > 1:
@@ -289,10 +306,14 @@ class AnytimeMappingSearch(ABC):
         for layer_name, candidate in drafts:
             by_layer.setdefault(layer_name, []).append(candidate)
         pool: Dict[Tuple[str, tuple], LayerPPA] = {}
-        for layer_name, candidates in by_layer.items():
-            results = evaluate(self.hw, layer_name, candidates)
-            for candidate, result in zip(candidates, results):
-                pool[(layer_name, candidate.key())] = result
+        # NullTracer.span is a shared no-op, so the untraced cost here is
+        # one call per speculative batch — off the per-candidate hot path.
+        tracer = getattr(self.engine, "tracer", NULL_TRACER)
+        with tracer.span("speculative_batch", drafts=len(drafts)):
+            for layer_name, candidates in by_layer.items():
+                results = evaluate(self.hw, layer_name, candidates)
+                for candidate, result in zip(candidates, results):
+                    pool[(layer_name, candidate.key())] = result
         self.num_speculative_evals += len(drafts)
 
         for _ in range(len(drafts)):

@@ -1,0 +1,68 @@
+"""``repro.obs`` — observability: span tracing, run profiling, Prometheus.
+
+The time-attribution layer over the co-search stack.  Flat counters
+(:mod:`repro.utils.metrics`) and discrete journal events
+(:mod:`repro.tracking`) say *what* happened; this package says *where
+the time went*:
+
+* :mod:`repro.obs.trace` — hierarchical :class:`Span`/:class:`Tracer`
+  with dual wall/simulated timestamps and pluggable sinks.
+* :mod:`repro.obs.chrome` — Chrome-trace-event JSON export
+  (``runs/<run-id>/trace.json``, loadable in Perfetto).
+* :mod:`repro.obs.profile` — per-phase breakdown behind
+  ``repro runs profile``.
+* :mod:`repro.obs.prom` — Prometheus text exposition and its validating
+  parser, behind ``GET /metrics?format=prom`` and ``repro stats --prom``.
+"""
+
+from repro.obs.chrome import (
+    ChromeTraceSink,
+    spans_to_trace_events,
+    write_chrome_trace,
+)
+from repro.obs.profile import (
+    RunProfile,
+    build_profile,
+    render_profile,
+    spans_from_journal,
+)
+from repro.obs.prom import (
+    parse_prometheus_text,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    SPAN_SCHEMA_VERSION,
+    InMemorySink,
+    JournalSpanSink,
+    NullTracer,
+    Span,
+    SpanSink,
+    Tracer,
+    format_trace_context,
+    parse_trace_context,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "SPAN_SCHEMA_VERSION",
+    "ChromeTraceSink",
+    "InMemorySink",
+    "JournalSpanSink",
+    "NullTracer",
+    "RunProfile",
+    "Span",
+    "SpanSink",
+    "Tracer",
+    "build_profile",
+    "format_trace_context",
+    "parse_prometheus_text",
+    "parse_trace_context",
+    "render_profile",
+    "render_prometheus",
+    "sanitize_metric_name",
+    "spans_from_journal",
+    "spans_to_trace_events",
+    "write_chrome_trace",
+]

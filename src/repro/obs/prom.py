@@ -1,0 +1,216 @@
+"""Prometheus text-format exposition for :class:`~repro.utils.metrics.MetricsRegistry`.
+
+The estimation service serves ``GET /metrics?format=prom`` with the
+output of :func:`render_prometheus`, so a stock Prometheus scraper can
+monitor it without a JSON exporter in between.  The renderer follows the
+text exposition format conventions:
+
+* metric names sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*``;
+* counters emitted under one ``# TYPE <name> counter`` header — the
+  registry's ``name[label]`` convention (e.g.
+  ``service_requests_total[/evaluate_layer]``) becomes a proper
+  ``{path="/evaluate_layer"}`` label set;
+* histograms as cumulative ``_bucket{le="..."}`` series plus ``_sum``
+  and ``_count``, closed by the mandatory ``+Inf`` bucket.
+
+:func:`parse_prometheus_text` is the matching strict parser; tests use
+it to prove the rendered output is actually scrapeable, and it validates
+the cumulative-bucket invariants a real Prometheus server enforces.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an arbitrary registry name into a legal Prometheus name."""
+    cleaned = _SANITIZE.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _split_labeled_name(name: str) -> Tuple[str, Optional[str]]:
+    """Split the registry's ``base[label]`` convention into (base, label).
+
+    The service records per-path request counters as
+    ``service_requests_total[/evaluate_layer]``; Prometheus wants one
+    ``service_requests_total`` family with a ``path`` label instead.
+    """
+    if name.endswith("]"):
+        idx = name.find("[")
+        if 0 < idx < len(name) - 1:
+            return name[:idx], name[idx + 1 : -1]
+    return name, None
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-friendly number formatting (``%g``)."""
+    return f"{float(value):g}"
+
+
+def render_prometheus(snapshot: Dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text.
+
+    Deterministic: families and series appear in sorted-name order, so
+    repeated scrapes of an idle registry are byte-identical.
+    """
+    lines: List[str] = []
+
+    families: Dict[str, List[Tuple[Optional[str], float]]] = {}
+    for name, value in snapshot.get("counters", {}).items():
+        base, label = _split_labeled_name(str(name))
+        families.setdefault(sanitize_metric_name(base), []).append(
+            (label, float(value))
+        )
+    for base in sorted(families):
+        lines.append(f"# TYPE {base} counter")
+        for label, value in sorted(
+            families[base], key=lambda item: item[0] or ""
+        ):
+            if label is None:
+                lines.append(f"{base} {_fmt(value)}")
+            else:
+                lines.append(
+                    f'{base}{{path="{_escape_label_value(label)}"}} {_fmt(value)}'
+                )
+
+    histograms = snapshot.get("histograms", {})
+    for name in sorted(histograms):
+        hist = histograms[name]
+        base = sanitize_metric_name(str(name))
+        lines.append(f"# TYPE {base} histogram")
+        cumulative = 0
+        for bound, bucket in zip(hist["bounds"], hist["bucket_counts"]):
+            cumulative += bucket
+            lines.append(f'{base}_bucket{{le="{bound:g}"}} {cumulative}')
+        cumulative += hist["bucket_counts"][-1]
+        lines.append(f'{base}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{base}_sum {_fmt(hist['sum'])}")
+        lines.append(f"{base}_count {hist['count']}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_labels(raw: Optional[str]) -> Dict[str, str]:
+    """Parse the ``key="value",...`` body of a label set; strict."""
+    labels: Dict[str, str] = {}
+    if not raw:
+        return labels
+    for part in raw.split(","):
+        match = _LABEL.match(part.strip())
+        if match is None:
+            raise ValueError(f"malformed label pair: {part!r}")
+        labels[match.group("key")] = (
+            match.group("value")
+            .replace("\\n", "\n")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\")
+        )
+    return labels
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict]:
+    """Strictly parse Prometheus text exposition into metric families.
+
+    Returns ``{family_name: {"type": str, "samples": [(name, labels,
+    value), ...]}}``.  Raises :class:`ValueError` on malformed lines,
+    samples without a preceding ``# TYPE``, illegal metric names, or
+    histogram families violating the cumulative ``_bucket``/``_sum``/
+    ``_count`` conventions — i.e. anything a real scraper would reject.
+    """
+    families: Dict[str, Dict] = {}
+    current: Optional[str] = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+                current = parts[2]
+                if not _NAME_OK.match(current):
+                    raise ValueError(
+                        f"line {lineno}: illegal metric name {current!r}"
+                    )
+                if current in families:
+                    raise ValueError(
+                        f"line {lineno}: duplicate TYPE for {current!r}"
+                    )
+                families[current] = {"type": parts[3], "samples": []}
+            continue  # HELP / comments
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = match.group("name")
+        if current is None or not (
+            name == current or name.startswith(current + "_")
+        ):
+            raise ValueError(
+                f"line {lineno}: sample {name!r} outside its TYPE family"
+            )
+        labels = _parse_labels(match.group("labels"))
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric value in {line!r}"
+            ) from None
+        families[current]["samples"].append((name, labels, value))
+
+    for family, data in families.items():
+        if data["type"] == "histogram":
+            _validate_histogram_family(family, data["samples"])
+    return families
+
+
+def _validate_histogram_family(
+    family: str, samples: List[Tuple[str, Dict[str, str], float]]
+) -> None:
+    """Enforce cumulative-bucket/_sum/_count invariants for one family."""
+    buckets = [(l, v) for (n, l, v) in samples if n == family + "_bucket"]
+    counts = [v for (n, l, v) in samples if n == family + "_count"]
+    sums = [v for (n, l, v) in samples if n == family + "_sum"]
+    if not buckets or len(counts) != 1 or len(sums) != 1:
+        raise ValueError(
+            f"histogram {family!r} must have _bucket series and exactly "
+            "one _sum and one _count"
+        )
+    if any("le" not in labels for labels, _ in buckets):
+        raise ValueError(f"histogram {family!r} has a bucket without le=")
+    if buckets[-1][0].get("le") != "+Inf":
+        raise ValueError(f"histogram {family!r} must end with le=\"+Inf\"")
+    values = [v for _, v in buckets]
+    if any(b > a for b, a in zip(values, values[1:])):
+        raise ValueError(f"histogram {family!r} buckets are not cumulative")
+    if values[-1] != counts[0]:
+        raise ValueError(
+            f"histogram {family!r}: +Inf bucket {values[-1]} != _count {counts[0]}"
+        )
+
+
+__all__ = [
+    "parse_prometheus_text",
+    "render_prometheus",
+    "sanitize_metric_name",
+]

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.hw.space import DiscreteDesignSpace
+from repro.obs.trace import NULL_TRACER
 from repro.optim.acquisition import expected_improvement
 from repro.optim.gp import GaussianProcess, GPHyperparameters
 from repro.optim.scalarize import parego_scalars, sample_weight_vector, uniform_weights
@@ -53,6 +54,8 @@ class MOBOSampler:
         self.pool_size = pool_size
         self.min_observations = min_observations
         self._shared_hyper: Optional[GPHyperparameters] = None
+        #: span tracer; a traced co-optimizer installs its own at run start
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------ pools
     def _candidate_pool(
@@ -113,32 +116,39 @@ class MOBOSampler:
             )
 
         # one marginal-likelihood optimization per iteration, shared across slots
-        uniform_scalar = parego_scalars(y_train, uniform_weights(self.num_objectives), self.rho)
-        shared_gp = GaussianProcess(self.kernel)
-        shared_gp.fit(
-            x_train,
-            uniform_scalar,
-            seed=int(self.rng.integers(0, 2**31)),
-            num_restarts=1,
-        )
-        self._shared_hyper = shared_gp.hyper
+        with self.tracer.span("gp_fit", train_size=len(train_configs)):
+            uniform_scalar = parego_scalars(
+                y_train, uniform_weights(self.num_objectives), self.rho
+            )
+            shared_gp = GaussianProcess(self.kernel)
+            shared_gp.fit(
+                x_train,
+                uniform_scalar,
+                seed=int(self.rng.integers(0, 2**31)),
+                num_restarts=1,
+            )
+            self._shared_hyper = shared_gp.hyper
 
         batch: List = []
         batch_keys: Set[Tuple] = set()
         for _slot in range(batch_size):
-            weights = sample_weight_vector(self.num_objectives, self.rng)
-            scalar = parego_scalars(y_train, weights, self.rho)
-            gp = GaussianProcess(self.kernel)
-            gp.fit(x_train, scalar, hyper=self._shared_hyper)
-            pool = self._candidate_pool(observed_keys | batch_keys, incumbents)
-            if not pool:
-                break
-            x_pool = np.vstack([self.space.encode(c) for c in pool])
-            mean, std = gp.predict(x_pool)
-            ei = expected_improvement(mean, std, best=float(scalar.min()))
-            chosen = pool[int(np.argmax(ei))]
-            batch.append(chosen)
-            batch_keys.add(self.space.config_key(chosen))
+            # one ParEGO scalarization + GP refit + EI maximization per slot
+            with self.tracer.span("acquisition", slot=_slot):
+                weights = sample_weight_vector(self.num_objectives, self.rng)
+                scalar = parego_scalars(y_train, weights, self.rho)
+                gp = GaussianProcess(self.kernel)
+                gp.fit(x_train, scalar, hyper=self._shared_hyper)
+                pool = self._candidate_pool(
+                    observed_keys | batch_keys, incumbents
+                )
+                if not pool:
+                    break
+                x_pool = np.vstack([self.space.encode(c) for c in pool])
+                mean, std = gp.predict(x_pool)
+                ei = expected_improvement(mean, std, best=float(scalar.min()))
+                chosen = pool[int(np.argmax(ei))]
+                batch.append(chosen)
+                batch_keys.add(self.space.config_key(chosen))
         # top up with randoms if pools were exhausted
         if len(batch) < batch_size:
             batch.extend(

@@ -39,7 +39,12 @@ from repro.errors import TrackingError
 #: The journal's own format version, stamped on every ``run_start`` event.
 JOURNAL_VERSION = 1
 
-#: Event types emitted by :class:`~repro.tracking.tracker.JournalTracker`.
+#: Event types emitted by :class:`~repro.tracking.tracker.JournalTracker`,
+#: plus ``span``, written by
+#: :class:`~repro.obs.trace.JournalSpanSink` and carrying its own
+#: ``span_schema`` version so the span payload can grow independently of
+#: :data:`JOURNAL_VERSION`.  Readers are type-agnostic (forward-compat):
+#: replay/resume tooling filters by the types it understands.
 EVENT_TYPES = (
     "run_start",
     "resume",
@@ -53,6 +58,7 @@ EVENT_TYPES = (
     "checkpoint",
     "iteration_end",
     "run_end",
+    "span",
 )
 
 

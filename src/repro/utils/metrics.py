@@ -24,7 +24,7 @@ jobs against a shared engine.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 #: Default latency buckets (seconds), roughly log-spaced like Prometheus'
 #: defaults; the last implicit bucket is +Inf.
@@ -70,6 +70,11 @@ class Counter:
     @property
     def value(self) -> float:
         return self._value
+
+    def reset(self) -> None:
+        """Zero the counter in place (held references stay live)."""
+        with self._lock:
+            self._value = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Counter({self.name}={self._value})"
@@ -150,6 +155,15 @@ class Histogram:
                         return self._max
                     return min(self.bounds[i], self._max)
             return self._max
+
+    def reset(self) -> None:
+        """Clear all observations in place (held references stay live)."""
+        with self._lock:
+            self._bucket_counts = [0] * (len(self.bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = float("inf")
+            self._max = float("-inf")
 
     def snapshot(self) -> Dict:
         with self._lock:
@@ -262,22 +276,32 @@ class MetricsRegistry:
             },
         }
 
+    def reset(self) -> None:
+        """Reset every instrument in place.
+
+        Instruments stay registered and any references held by call sites
+        remain live — only the recorded values are cleared.  Used for
+        hermetic per-test registries and the overhead benchmark's paired
+        rounds.
+        """
+        with self._lock:
+            counters = list(self._counters.values())
+            histograms = list(self._histograms.values())
+        for counter in counters:
+            counter.reset()
+        for histogram in histograms:
+            histogram.reset()
+
     def render_text(self) -> str:
-        """Prometheus-style plain-text exposition of the registry."""
-        lines: List[str] = []
-        snap = self.snapshot()
-        for name, value in snap["counters"].items():
-            lines.append(f"{name} {value:g}")
-        for name, hist in snap["histograms"].items():
-            lines.append(f"{name}_count {hist['count']}")
-            lines.append(f"{name}_sum {hist['sum']:g}")
-            cumulative = 0
-            for bound, bucket in zip(hist["bounds"], hist["bucket_counts"]):
-                cumulative += bucket
-                lines.append(f'{name}_bucket{{le="{bound:g}"}} {cumulative}')
-            cumulative += hist["bucket_counts"][-1]
-            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
-        return "\n".join(lines) + ("\n" if lines else "")
+        """Prometheus text exposition of the registry.
+
+        Delegates to :func:`repro.obs.prom.render_prometheus`, which
+        follows the full exposition conventions (``# TYPE`` headers,
+        label extraction, cumulative buckets).
+        """
+        from repro.obs.prom import render_prometheus
+
+        return render_prometheus(self.snapshot())
 
 
 __all__ = [

@@ -1,0 +1,143 @@
+"""Tests for Prometheus text exposition rendering and its strict parser."""
+
+import pytest
+
+from repro.obs.prom import (
+    parse_prometheus_text,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.utils.metrics import MetricsRegistry
+
+
+def make_registry():
+    """A registry shaped like the estimation service's."""
+    registry = MetricsRegistry()
+    registry.counter("service_queries").inc(5)
+    registry.counter("service_requests_total[/evaluate_layer]").inc(3)
+    registry.counter("service_requests_total[/health]").inc(1)
+    hist = registry.histogram("service_latency_s", bounds=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    return registry
+
+
+class TestSanitize:
+    def test_legal_name_unchanged(self):
+        assert sanitize_metric_name("service_queries") == "service_queries"
+
+    def test_illegal_chars_replaced(self):
+        assert sanitize_metric_name("lat-ms.p99") == "lat_ms_p99"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("9lives").startswith("_")
+
+
+class TestRender:
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_output_parses_with_strict_parser(self):
+        text = render_prometheus(make_registry().snapshot())
+        families = parse_prometheus_text(text)
+        assert families["service_queries"]["type"] == "counter"
+        assert families["service_requests_total"]["type"] == "counter"
+        assert families["service_latency_s"]["type"] == "histogram"
+
+    def test_labeled_counter_convention(self):
+        text = render_prometheus(make_registry().snapshot())
+        assert 'service_requests_total{path="/evaluate_layer"} 3' in text
+        assert 'service_requests_total{path="/health"} 1' in text
+        # one TYPE header for the whole family
+        assert text.count("# TYPE service_requests_total counter") == 1
+
+    def test_histogram_conventions(self):
+        text = render_prometheus(make_registry().snapshot())
+        assert 'service_latency_s_bucket{le="0.1"} 1' in text
+        assert 'service_latency_s_bucket{le="1"} 2' in text
+        assert 'service_latency_s_bucket{le="+Inf"} 3' in text
+        assert "service_latency_s_count 3" in text
+        families = parse_prometheus_text(text)
+        samples = families["service_latency_s"]["samples"]
+        sums = [v for (n, _, v) in samples if n == "service_latency_s_sum"]
+        assert sums == [pytest.approx(5.55)]
+
+    def test_deterministic_output(self):
+        registry = make_registry()
+        assert render_prometheus(registry.snapshot()) == render_prometheus(
+            registry.snapshot()
+        )
+
+    def test_label_value_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter('weird[/path"with\\quotes]').inc()
+        text = render_prometheus(registry.snapshot())
+        families = parse_prometheus_text(text)
+        ((_, labels, value),) = families["weird"]["samples"]
+        assert labels["path"] == '/path"with\\quotes'
+        assert value == 1
+
+
+class TestParser:
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ValueError, match="outside its TYPE"):
+            parse_prometheus_text("queries 5\n")
+
+    def test_malformed_type_rejected(self):
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            parse_prometheus_text("# TYPE queries\nqueries 5\n")
+
+    def test_unknown_metric_kind_rejected(self):
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            parse_prometheus_text("# TYPE queries widget\nqueries 5\n")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_prometheus_text("# TYPE q counter\nq banana\n")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_prometheus_text(
+                "# TYPE q counter\nq 1\n# TYPE q counter\nq 2\n"
+            )
+
+    def test_sample_from_other_family_rejected(self):
+        with pytest.raises(ValueError, match="outside its TYPE"):
+            parse_prometheus_text("# TYPE q counter\nother 1\n")
+
+    def test_non_cumulative_histogram_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_prometheus_text(text)
+
+    def test_histogram_missing_inf_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 1\n'
+            "h_sum 1\n"
+            "h_count 1\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_prometheus_text(text)
+
+    def test_inf_bucket_count_mismatch_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 2\n'
+            "h_sum 1\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            parse_prometheus_text(text)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# HELP q something\n\n# TYPE q counter\nq 1\n"
+        families = parse_prometheus_text(text)
+        assert families["q"]["samples"] == [("q", {}, 1.0)]

@@ -84,6 +84,18 @@ class TestStatsCommand:
         assert payload["engine"]["num_queries"] == 2
         assert payload["engine"]["cache_capacity"] == 64
         assert "counters" in payload["metrics"]
+        assert payload["schema_version"] == 1
+
+    def test_stats_prom(self, live_service, capsys):
+        from repro.obs.prom import parse_prometheus_text
+
+        # prime the per-path request counters with one ordinary scrape
+        assert main(["stats", live_service.url]) == 0
+        capsys.readouterr()
+        assert main(["stats", live_service.url, "--prom"]) == 0
+        out = capsys.readouterr().out
+        families = parse_prometheus_text(out)  # must be scrapeable text
+        assert any(f.startswith("service_requests") for f in families)
 
     def test_serve_parser_accepts_cache_capacity(self):
         from repro.cli import build_parser
@@ -92,6 +104,11 @@ class TestStatsCommand:
             ["serve", "resnet50", "--cache-capacity", "0"]
         )
         assert args.cache_capacity == 0
+        assert args.trace is False
+
+    def test_serve_parser_accepts_trace(self):
+        args = build_parser().parse_args(["serve", "resnet50", "--trace"])
+        assert args.trace is True
 
 
 class TestFigCommand:

@@ -184,3 +184,85 @@ class TestConcurrency:
         assert len(scan.events) == 200
         assert not scan.truncated_tail
         verify_sequence(scan)
+
+
+class TestSchemaGrowth:
+    """The ``span`` event type (added for repro.obs) must not disturb any
+    journal consumer: replay, verification and resume are type-agnostic."""
+
+    def test_span_event_round_trips(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        span = {
+            "span_schema": 1,
+            "name": "iteration",
+            "trace_id": "t",
+            "span_id": "abc-1",
+            "parent_id": None,
+            "wall_start_s": 1.0,
+            "wall_dur_s": 0.5,
+            "sim_start_s": 0.0,
+            "sim_dur_s": 100.0,
+            "thread": 1,
+            "attrs": {"iteration": 0},
+        }
+        with EventJournal(path) as journal:
+            journal.append("span", dict(span))
+        event = read_events(path).of_type("span")[0]
+        for key, value in span.items():
+            assert event[key] == value
+
+    def test_mixed_journal_replays_and_verifies(self, tmp_path):
+        """A traced run's journal (spans interleaved with the decision
+        events) still replays its iteration records and verify_runs."""
+        from repro.experiments.harness import run_method
+        from repro.tracking import (
+            RunStore,
+            replay_iteration_records,
+            verify_run,
+        )
+
+        store = RunStore(tmp_path / "runs")
+        result = run_method(
+            "unico", "edge", "mobilenet", "smoke", seed=11,
+            run_store=store, trace=True,
+        )
+        run = store.get(result.extras["run_id"])
+        scan = read_events(run.journal_path)
+        types = {e["type"] for e in scan.events}
+        assert "span" in types and "iteration_end" in types
+        verify_sequence(scan)
+        health = verify_run(run)
+        assert health["journal_iterations"] == 2
+        assert (
+            replay_iteration_records(run.journal_path)
+            == result.extras["iteration_records"]
+        )
+
+    def test_mixed_journal_resumes(self, tmp_path):
+        """Resume over a span-bearing journal: delete the last checkpoint
+        so the journal is ahead, then resume and match the straight run."""
+        from repro.experiments.harness import run_method
+        from repro.tracking import RunStore, replay_iteration_records
+        from repro.tracking.resume import resume_run
+
+        straight = run_method("unico", "edge", "mobilenet", "smoke", seed=11)
+
+        store = RunStore(tmp_path / "runs")
+        result = run_method(
+            "unico", "edge", "mobilenet", "smoke", seed=11,
+            run_store=store, trace=True,
+        )
+        run = store.get(result.extras["run_id"])
+        checkpoints = run.checkpoints()
+        assert len(checkpoints) == 2
+        checkpoints[-1].unlink()  # journal now one iteration ahead
+
+        resumed = resume_run(run)
+        assert resumed.extras["resumed_from_iteration"] == 1
+        assert sorted(
+            map(tuple, resumed.pareto.points.tolist())
+        ) == sorted(map(tuple, straight.pareto.points.tolist()))
+        assert (
+            replay_iteration_records(run.journal_path)
+            == straight.extras["iteration_records"]
+        )

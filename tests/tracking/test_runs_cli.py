@@ -108,3 +108,64 @@ class TestRunsCommands:
 
         with pytest.raises(TrackingError):
             main(["runs", "show", "ghost", "--runs-dir", str(tmp_path)])
+
+
+@pytest.fixture()
+def traced_run(tmp_path, capsys):
+    """One traced smoke run; returns (runs_dir, run_id)."""
+    runs_dir = str(tmp_path / "runs")
+    code = main(
+        [
+            "run", "unico", WORKLOAD, "--preset", "smoke", "--seed", "2",
+            "--track", "--trace", "--runs-dir", runs_dir,
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace written to" in out
+    run_id = out.split("tracked as run ")[1].splitlines()[0].strip()
+    return runs_dir, run_id
+
+
+class TestObservabilityCommands:
+    def test_trace_requires_track(self, capsys):
+        code = main(["run", "unico", WORKLOAD, "--preset", "smoke", "--trace"])
+        assert code == 2
+        assert "--trace requires --track" in capsys.readouterr().err
+
+    def test_profile(self, traced_run, capsys):
+        runs_dir, run_id = traced_run
+        assert (
+            main(["runs", "profile", run_id, "--runs-dir", runs_dir]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "spans" in out
+        assert "msh_round" in out
+        assert "evals/s" in out
+        assert "slowest spans:" in out
+
+    def test_profile_untraced_run_errors(self, tracked_run, capsys):
+        runs_dir, run_id = tracked_run
+        assert (
+            main(["runs", "profile", run_id, "--runs-dir", runs_dir]) == 1
+        )
+        assert "no recorded spans" in capsys.readouterr().err
+
+    def test_trace_export(self, traced_run, tmp_path, capsys):
+        runs_dir, run_id = traced_run
+        out_path = tmp_path / "exported.json"
+        assert (
+            main(
+                [
+                    "runs", "trace", run_id, "--runs-dir", runs_dir,
+                    "--out", str(out_path),
+                ]
+            )
+            == 0
+        )
+        assert "perfetto" in capsys.readouterr().out.lower()
+        document = json.loads(out_path.read_text())
+        names = {
+            e["name"] for e in document["traceEvents"] if e["ph"] == "X"
+        }
+        assert {"run", "iteration", "msh_round"} <= names

@@ -85,6 +85,41 @@ class TestHistogram:
     def test_quantile_empty(self):
         assert Histogram("lat").quantile(0.5) == 0.0
 
+    def test_quantile_empty_at_extremes(self):
+        hist = Histogram("lat")
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(1.0) == 0.0
+
+    def test_quantile_all_overflow(self):
+        """Every observation above the last bound: quantiles hit the max."""
+        hist = Histogram("lat", bounds=(0.1, 1.0))
+        for value in (5.0, 7.0, 9.0):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 5.0
+        assert hist.quantile(0.5) == 9.0  # overflow bucket resolves to max
+        assert hist.quantile(1.0) == 9.0
+
+    def test_quantile_single_observation(self):
+        hist = Histogram("lat", bounds=(0.1, 1.0))
+        hist.observe(0.5)
+        assert hist.quantile(0.0) == 0.5
+        assert hist.quantile(0.5) == pytest.approx(0.5)
+        assert hist.quantile(1.0) == 0.5
+
+    def test_reset_clears_in_place(self):
+        hist = Histogram("lat", bounds=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        hist.reset()
+        assert hist.count == 0
+        assert hist.sum == 0.0
+        assert hist.quantile(0.5) == 0.0
+        snap = hist.snapshot()
+        assert snap["bucket_counts"] == [0, 0, 0]
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+        hist.observe(0.5)  # still usable after reset
+        assert hist.count == 1
+
     def test_timer_records_elapsed(self):
         hist = Histogram("lat")
         with hist.time():
@@ -137,3 +172,30 @@ class TestMetricsRegistry:
 
     def test_render_text_empty(self):
         assert MetricsRegistry().render_text() == ""
+
+    def test_reset_clears_values_keeps_instruments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("queries")
+        hist = registry.histogram("lat", bounds=(0.1, 1.0))
+        counter.inc(5)
+        hist.observe(0.5)
+        registry.reset()
+        # held references stay live and were reset in place
+        assert counter.value == 0.0
+        assert hist.count == 0
+        # instruments remain registered (same objects returned)
+        assert registry.counter("queries") is counter
+        assert registry.histogram("lat") is hist
+        counter.inc()
+        assert registry.counter_value("queries") == 1.0
+
+    def test_counter_reset(self):
+        counter = Counter("queries")
+        counter.inc(7)
+        counter.reset()
+        assert counter.value == 0.0
+        counter.inc()
+        assert counter.value == 1.0
+
+    def test_reset_empty_registry_is_noop(self):
+        MetricsRegistry().reset()
