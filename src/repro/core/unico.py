@@ -38,9 +38,9 @@ from repro.optim.mobo import MOBOSampler
 from repro.optim.pareto import ObjectiveNormalizer
 from repro.optim.sh import (
     plan_rounds,
-    relative_auc_score,
-    select_survivors_detailed,
-    terminal_value,
+    relative_auc_scores,
+    select_survivors_soa,
+    terminal_values,
 )
 
 SURROGATE_UPDATES = ("high_fidelity", "champion")
@@ -83,9 +83,11 @@ class UnicoConfig:
     time_budget_s: Optional[float] = None
     min_observations: int = 8
     #: speculative-batch width of the inner mapping search (candidates per
-    #: PPA-engine batch call); 1 keeps the scalar loop.  Distinct from
+    #: PPA-engine batch call); 1 keeps the scalar loop.  Results are
+    #: byte-identical either way (speculation replays the fold under the
+    #: true state); 8 amortizes engine dispatch by default.  Distinct from
     #: ``batch_size``, which is the MOBO *hardware* batch N.
-    eval_batch_size: int = 1
+    eval_batch_size: int = 8
     #: warm-start configurations injected into the first batch (e.g. the
     #: expert default when tuning an existing industrial architecture)
     initial_configs: tuple = ()
@@ -205,9 +207,11 @@ class Unico(CoOptimizer):
         plans = plan_rounds(
             len(trials), config.max_budget, config.eta, config.keep_fraction
         )
+        # structure-of-arrays bookkeeping: budget spent, init-cost charging,
+        # and curve statistics are arrays indexed like `trials`, not dicts
         active = list(range(len(trials)))
-        spent = {i: 0 for i in active}
-        init_charged = {i: False for i in active}
+        spent = np.zeros(len(trials), dtype=np.int64)
+        init_charged = np.zeros(len(trials), dtype=bool)
         for plan_index, plan in enumerate(plans):
             # NullTracer.span is a shared no-op; sim time inside this span
             # is the round's advance_parallel makespan, so traces attribute
@@ -218,43 +222,49 @@ class Unico(CoOptimizer):
                 budget=plan.cumulative_budget,
                 active=len(active),
             ) as round_span:
-                round_args = []
-                for trial_id in active:
-                    additional = plan.cumulative_budget - spent[trial_id]
-                    round_args.append((trials[trial_id], additional))
-                    if additional > 0:
-                        spent[trial_id] = plan.cumulative_budget
-                deltas = self.runner.starmap(_advance_trial, round_args)
-                durations: List[float] = []
-                for trial_id, delta in zip(active, deltas):
-                    duration_queries = delta
-                    if not init_charged[trial_id]:
-                        # initialization evals = queries spent before this round
-                        duration_queries += trials[trial_id].queries_spent - delta
-                        init_charged[trial_id] = True
-                    durations.append(duration_queries * self.engine.eval_cost_s)
-                self.clock.advance_parallel(durations, label="sw-search")
-                if plan_index == len(plans) - 1:
-                    if self.tracker.enabled:
-                        tv = {
-                            i: terminal_value(trials[i].best_curve())
-                            for i in active
-                        }
-                        auc = {
-                            i: relative_auc_score(trials[i].best_curve())
-                            for i in active
-                        }
-                        self.tracker.on_msh_round(
-                            self,
-                            self._current_iteration,
-                            plan_index,
-                            plan.cumulative_budget,
-                            list(active),
-                            tv,
-                            auc,
-                            list(active),
-                            [],
-                        )
+                additional = plan.cumulative_budget - spent[active]
+                round_args = [
+                    (trials[trial_id], int(extra))
+                    for trial_id, extra in zip(active, additional)
+                ]
+                spent[active] = np.maximum(spent[active], plan.cumulative_budget)
+                deltas = np.asarray(
+                    self.runner.starmap(_advance_trial, round_args),
+                    dtype=np.int64,
+                )
+                total_queries = np.array(
+                    [trials[trial_id].queries_spent for trial_id in active],
+                    dtype=np.int64,
+                )
+                # first round charges initialization evals (queries spent
+                # before the round) on top of the round's own delta
+                duration_queries = np.where(
+                    init_charged[active], deltas, total_queries
+                )
+                init_charged[active] = True
+                self.clock.advance_parallel(
+                    (duration_queries * self.engine.eval_cost_s).tolist(),
+                    label="sw-search",
+                )
+                is_last = plan_index == len(plans) - 1
+                if is_last and not self.tracker.enabled:
+                    round_span.set_attribute("survivors", len(active))
+                    break
+                curves = [trials[trial_id].best_curve() for trial_id in active]
+                tvs = terminal_values(curves)
+                aucs = relative_auc_scores(curves)
+                if is_last:
+                    self.tracker.on_msh_round(
+                        self,
+                        self._current_iteration,
+                        plan_index,
+                        plan.cumulative_budget,
+                        list(active),
+                        dict(zip(active, tvs.tolist())),
+                        dict(zip(active, aucs.tolist())),
+                        list(active),
+                        [],
+                    )
                     round_span.set_attribute("survivors", len(active))
                     break
                 keep = min(plans[plan_index + 1].num_candidates, len(active))
@@ -263,12 +273,8 @@ class Unico(CoOptimizer):
                     promotions = min(
                         int(np.floor(config.auc_fraction * len(trials))), keep
                     )
-                tv = {i: terminal_value(trials[i].best_curve()) for i in active}
-                auc = {
-                    i: relative_auc_score(trials[i].best_curve()) for i in active
-                }
-                survivors, promoted = select_survivors_detailed(
-                    active, tv, auc, keep, promotions
+                survivors, promoted = select_survivors_soa(
+                    active, tvs, aucs, keep, promotions
                 )
                 if self.tracker.enabled:
                     self.tracker.on_msh_round(
@@ -277,8 +283,8 @@ class Unico(CoOptimizer):
                         plan_index,
                         plan.cumulative_budget,
                         list(active),
-                        tv,
-                        auc,
+                        dict(zip(active, tvs.tolist())),
+                        dict(zip(active, aucs.tolist())),
                         list(survivors),
                         promoted,
                     )

@@ -18,6 +18,7 @@ typed config dataclasses.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Any, Dict, Generic, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
@@ -44,10 +45,23 @@ class Dimension:
     def __len__(self) -> int:
         return len(self.choices)
 
+    @cached_property
+    def _index_map(self) -> Dict[Any, int]:
+        """O(1) value -> ordinal index lookup (choices are hashable)."""
+        return {value: index for index, value in enumerate(self.choices)}
+
+    @cached_property
+    def codes(self) -> np.ndarray:
+        """Normalized ordinal code of every choice, in grid order."""
+        if len(self.choices) == 1:
+            return np.zeros(1)
+        span = len(self.choices) - 1
+        return np.array([index / span for index in range(len(self.choices))])
+
     def index_of(self, value: Any) -> int:
         try:
-            return self.choices.index(value)
-        except ValueError:
+            return self._index_map[value]
+        except (KeyError, TypeError):
             raise DesignSpaceError(
                 f"value {value!r} not in dimension {self.name!r}"
             ) from None
@@ -161,6 +175,63 @@ class DiscreteDesignSpace(Generic[ConfigT]):
         return np.array(
             [dim.encode(assignment[dim.name]) for dim in self.dimensions],
             dtype=float,
+        )
+
+    def encode_batch(self, configs: Sequence[ConfigT]) -> np.ndarray:
+        """Encode many configs into one ``(len(configs), d)`` matrix.
+
+        One NumPy allocation for the whole batch with cached per-dimension
+        code tables; values are bit-identical to stacking :meth:`encode`
+        rows (same ``index / (len - 1)`` arithmetic).
+        """
+        if not configs:
+            return np.zeros((0, self.num_dimensions))
+        codes = [dim.codes for dim in self.dimensions]
+        rows = []
+        for config in configs:
+            assignment = self.from_config(config)
+            rows.append(
+                [
+                    codes[i][dim.index_of(assignment[dim.name])]
+                    for i, dim in enumerate(self.dimensions)
+                ]
+            )
+        return np.array(rows, dtype=float)
+
+    @cached_property
+    def _choice_counts(self) -> np.ndarray:
+        """Per-dimension grid cardinalities (for batched index draws)."""
+        return np.array([len(dim) for dim in self.dimensions], dtype=np.int64)
+
+    def sample_indices(self, count: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw a ``(count, d)`` matrix of uniform grid indices in one call.
+
+        Consumes the generator stream exactly like ``count`` sequential
+        :meth:`sample` calls (NumPy fills bounded integer draws row-major,
+        one bounded draw per element), so batched pool construction stays
+        bit-compatible with the scalar sampling loop it replaces.
+        """
+        if count < 0:
+            raise DesignSpaceError(f"count must be non-negative, got {count}")
+        rng = as_generator(seed)
+        if count == 0:
+            return np.zeros((0, self.num_dimensions), dtype=np.int64)
+        return rng.integers(
+            0, self._choice_counts, size=(count, self.num_dimensions)
+        )
+
+    def config_from_indices(self, indices: Sequence[int]) -> ConfigT:
+        """Build the typed config selected by one row of grid indices."""
+        assignment = {
+            dim.name: dim.choices[int(indices[i])]
+            for i, dim in enumerate(self.dimensions)
+        }
+        return self.to_config(assignment)
+
+    def key_from_indices(self, indices: Sequence[int]) -> Tuple[Any, ...]:
+        """The :meth:`config_key` of a grid-index row, without building it."""
+        return tuple(
+            dim.choices[int(indices[i])] for i, dim in enumerate(self.dimensions)
         )
 
     def decode(self, vector: np.ndarray) -> ConfigT:

@@ -141,9 +141,15 @@ class AnytimeMappingSearch(ABC):
 
     def _feasible_seed(self, layer_name: str) -> Tuple[GemmMapping, LayerPPA]:
         """Find a feasible starting mapping, shrinking tiles as needed."""
-        space = self.spaces[layer_name]
-        candidate = self._seed_mapping(space)
+        candidate = self._seed_mapping(self.spaces[layer_name])
         result = self.engine.evaluate_layer(self.hw, candidate, layer_name)
+        return self._shrink_to_feasible(layer_name, candidate, result)
+
+    def _shrink_to_feasible(
+        self, layer_name: str, candidate: GemmMapping, result: LayerPPA
+    ) -> Tuple[GemmMapping, LayerPPA]:
+        """Halve tiles until ``candidate`` fits; last resort is minimal."""
+        space = self.spaces[layer_name]
         shrink_round = 0
         while not result.feasible and shrink_round < 24:
             tm, tn, tk = candidate.tiles()
@@ -168,8 +174,28 @@ class AnytimeMappingSearch(ABC):
         return candidate, result
 
     def _initialize_incumbents(self) -> None:
-        for layer_name in self.layer_names:
-            mapping, result = self._feasible_seed(layer_name)
+        """Seed every layer's incumbent with one batched engine pass.
+
+        All layers' heuristic seed mappings travel in a single
+        ``evaluate_layers`` call (item-for-item query accounting, so
+        totals match the per-layer loop it replaces); only layers whose
+        seed came back infeasible pay the scalar shrink fallback.
+        Duck-typed engines without the batch API keep the scalar path.
+        """
+        seeds = [
+            self._seed_mapping(self.spaces[layer_name])
+            for layer_name in self.layer_names
+        ]
+        evaluate = getattr(self.engine, "evaluate_layers", None)
+        if evaluate is None:
+            results = [
+                self.engine.evaluate_layer(self.hw, seed, layer_name)
+                for seed, layer_name in zip(seeds, self.layer_names)
+            ]
+        else:
+            results = evaluate(self.hw, list(zip(seeds, self.layer_names)))
+        for layer_name, seed, result in zip(self.layer_names, seeds, results):
+            mapping, result = self._shrink_to_feasible(layer_name, seed, result)
             self.best_layer_mapping[layer_name] = mapping
             self.best_layer_result[layer_name] = result
 

@@ -6,7 +6,12 @@ fidelity update, Algorithm 1) composes these pieces in :mod:`repro.core`.
 """
 
 from repro.optim.acquisition import expected_improvement, upper_confidence_bound
-from repro.optim.gp import GaussianProcess, GPHyperparameters
+from repro.optim.gp import (
+    CholeskyFactor,
+    GaussianProcess,
+    GPHyperparameters,
+    factorize,
+)
 from repro.optim.hyperband import Bracket, hyperband_brackets
 from repro.optim.hypervolume import (
     hypervolume,
@@ -48,10 +53,13 @@ from repro.optim.sh import (
     auc_score,
     plan_rounds,
     relative_auc_score,
+    relative_auc_scores,
     run_successive_halving,
     select_survivors,
     select_survivors_detailed,
+    select_survivors_soa,
     terminal_value,
+    terminal_values,
 )
 
 __all__ = [
@@ -64,8 +72,10 @@ __all__ = [
     "TPESampler",
     "expected_improvement",
     "upper_confidence_bound",
+    "CholeskyFactor",
     "GaussianProcess",
     "GPHyperparameters",
+    "factorize",
     "Bracket",
     "hyperband_brackets",
     "hypervolume",
@@ -93,9 +103,12 @@ __all__ = [
     "RoundPlan",
     "auc_score",
     "relative_auc_score",
+    "relative_auc_scores",
     "plan_rounds",
     "run_successive_halving",
     "select_survivors",
     "select_survivors_detailed",
+    "select_survivors_soa",
     "terminal_value",
+    "terminal_values",
 ]

@@ -7,13 +7,17 @@ from scipy import stats
 
 
 def expected_improvement(
-    mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.01
+    mean: np.ndarray,
+    std: np.ndarray,
+    best: "float | np.ndarray",
+    xi: float = 0.01,
 ) -> np.ndarray:
     """EI for minimization: E[max(best - f - xi, 0)] under N(mean, std^2).
 
     Balances exploitation (low predicted mean) against exploration (high
     predictive uncertainty) — the balance Section 3.2 asks of the batch
-    sampler's acquisition.
+    sampler's acquisition.  ``best`` may be a scalar or an array that
+    broadcasts against ``mean`` (one incumbent per row of a pool matrix).
     """
     mean = np.asarray(mean, dtype=float)
     std = np.maximum(np.asarray(std, dtype=float), 1e-12)

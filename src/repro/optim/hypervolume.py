@@ -128,10 +128,21 @@ def hypervolume_monte_carlo(
 
 
 def reference_point_from(points: np.ndarray, margin: float = 1.1) -> np.ndarray:
-    """A reference point slightly beyond the worst finite observation."""
+    """A reference point slightly beyond the worst finite observation.
+
+    The pad is *additive* on the magnitude of the worst value,
+    ``worst + (margin - 1) * max(|worst|, 1)``, so the reference always
+    moves outward (strictly worse, under minimization) regardless of
+    sign.  A multiplicative ``worst * margin`` would move *inward* on
+    axes whose worst observation is negative, silently discarding those
+    points from every hypervolume computed against the reference.
+    """
     points = np.asarray(points, dtype=float)
     finite = np.all(np.isfinite(points), axis=1)
     if not finite.any():
         raise ValueError("no finite points to derive a reference from")
+    if margin <= 1.0:
+        raise ValueError(f"margin must exceed 1, got {margin}")
     worst = points[finite].max(axis=0)
-    return worst * margin + 1e-9
+    pad = (margin - 1.0) * np.maximum(np.abs(worst), 1.0)
+    return worst + pad + 1e-9

@@ -6,17 +6,28 @@ exploitation".  This module implements that step:
 
 1. normalize the training objectives (whatever subset the high-fidelity
    update rule admitted) to [0, 1],
-2. fit GP hyperparameters once per iteration on a uniform scalarization,
-3. for each of the N batch slots, draw a random ParEGO weight vector,
-   scalarize the training objectives, refit the GP solve (shared
-   hyperparameters), and maximize Expected Improvement over a candidate
-   pool of random configurations plus mutations of incumbent Pareto
-   members,
-4. de-duplicate against observed and already-selected configurations.
+2. fit GP hyperparameters once per iteration on a uniform scalarization
+   (analytic-gradient marginal likelihood),
+3. draw one candidate pool of random configurations plus mutations of
+   incumbent Pareto members and encode it once,
+4. for each of the N batch slots, draw a random ParEGO weight vector,
+   scalarize the training objectives, and maximize Expected Improvement
+   over the pool, masking out already-selected candidates,
+5. de-duplicate against observed and already-selected configurations.
 
 Random weight vectors give the batch its diversity (each slot optimizes a
 different trade-off direction), the EI gives each slot its exploration/
 exploitation balance.
+
+The heavy math is structure-of-arrays NumPy over the whole pool: the
+kernel Cholesky is factorized once and shared by every slot's scalarized
+GP, the pool cross-kernel / posterior variance are computed once, and EI
+is evaluated on the full ``(slots, pool)`` matrix.  A slot-by-slot scalar
+path (``vectorized=False``) runs the same algorithm through the plain
+:class:`~repro.optim.gp.GaussianProcess` fit/predict calls; the two paths
+are bit-identical under a fixed seed (``tests/optim/test_mobo_vectorized``
+asserts it).  The pre-rewrite implementation survives as
+:mod:`repro.optim.mobo_legacy` for the outer-loop benchmark baseline.
 """
 
 from __future__ import annotations
@@ -25,10 +36,11 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.errors import SurrogateError
 from repro.hw.space import DiscreteDesignSpace
 from repro.obs.trace import NULL_TRACER
 from repro.optim.acquisition import expected_improvement
-from repro.optim.gp import GaussianProcess, GPHyperparameters
+from repro.optim.gp import GaussianProcess, GPHyperparameters, factorize
 from repro.optim.scalarize import parego_scalars, sample_weight_vector, uniform_weights
 from repro.utils.rng import SeedLike, as_generator
 
@@ -45,6 +57,7 @@ class MOBOSampler:
         rho: float = 0.2,
         pool_size: int = 512,
         min_observations: int = 8,
+        vectorized: bool = True,
     ):
         self.space = space
         self.num_objectives = num_objectives
@@ -53,6 +66,9 @@ class MOBOSampler:
         self.rho = rho
         self.pool_size = pool_size
         self.min_observations = min_observations
+        #: structure-of-arrays acquisition (default) vs the slot-by-slot
+        #: scalar path; both run the same algorithm and are bit-identical
+        self.vectorized = vectorized
         self._shared_hyper: Optional[GPHyperparameters] = None
         #: span tracer; a traced co-optimizer installs its own at run start
         self.tracer = NULL_TRACER
@@ -63,18 +79,26 @@ class MOBOSampler:
         exclude_keys: Set[Tuple],
         incumbents: Sequence,
     ) -> List:
-        """Random configs + local mutations of incumbents, de-duplicated."""
+        """Random configs + local mutations of incumbents, de-duplicated.
+
+        Drawn once per :meth:`suggest_batch` call (every slot selects from
+        the same pool).  The random part samples grid-index rows in
+        batched generator calls instead of one config at a time.
+        """
         pool: List = []
         keys = set(exclude_keys)
         attempts = 0
         target_random = self.pool_size
-        while len(pool) < target_random and attempts < 20 * target_random:
-            candidate = self.space.sample(self.rng)
-            key = self.space.config_key(candidate)
-            if key not in keys:
-                keys.add(key)
-                pool.append(candidate)
-            attempts += 1
+        max_attempts = 20 * target_random
+        while len(pool) < target_random and attempts < max_attempts:
+            need = min(target_random - len(pool), max_attempts - attempts)
+            index_rows = self.space.sample_indices(need, self.rng)
+            attempts += need
+            for row in index_rows:
+                key = self.space.key_from_indices(row)
+                if key not in keys:
+                    keys.add(key)
+                    pool.append(self.space.config_from_indices(row))
         for incumbent in incumbents:
             for _ in range(4):
                 candidate = self.space.mutate(incumbent, self.rng, num_moves=1)
@@ -107,7 +131,7 @@ class MOBOSampler:
         if len(train_configs) < self.min_observations:
             return self._random_batch(batch_size, observed_keys)
 
-        x_train = np.vstack([self.space.encode(c) for c in train_configs])
+        x_train = self.space.encode_batch(train_configs)
         y_train = np.asarray(train_objectives, dtype=float)
         if y_train.ndim != 2 or y_train.shape[1] != self.num_objectives:
             raise ValueError(
@@ -129,34 +153,114 @@ class MOBOSampler:
             )
             self._shared_hyper = shared_gp.hyper
 
+        # one pool per iteration, encoded once; every slot selects from it
+        with self.tracer.span("candidate_pool"):
+            pool = self._candidate_pool(observed_keys, incumbents)
         batch: List = []
-        batch_keys: Set[Tuple] = set()
-        for _slot in range(batch_size):
-            # one ParEGO scalarization + GP refit + EI maximization per slot
-            with self.tracer.span("acquisition", slot=_slot):
-                weights = sample_weight_vector(self.num_objectives, self.rng)
-                scalar = parego_scalars(y_train, weights, self.rho)
-                gp = GaussianProcess(self.kernel)
-                gp.fit(x_train, scalar, hyper=self._shared_hyper)
-                pool = self._candidate_pool(
-                    observed_keys | batch_keys, incumbents
+        if pool:
+            x_pool = self.space.encode_batch(pool)
+            slots = min(batch_size, len(pool))
+            with self.tracer.span("acquisition", slots=slots, pool=len(pool)):
+                factor = factorize(self.kernel, x_train, self._shared_hyper)
+                select = (
+                    self._select_vectorized
+                    if self.vectorized
+                    else self._select_reference
                 )
-                if not pool:
-                    break
-                x_pool = np.vstack([self.space.encode(c) for c in pool])
-                mean, std = gp.predict(x_pool)
-                ei = expected_improvement(mean, std, best=float(scalar.min()))
-                chosen = pool[int(np.argmax(ei))]
-                batch.append(chosen)
-                batch_keys.add(self.space.config_key(chosen))
-        # top up with randoms if pools were exhausted
+                chosen = select(factor, x_pool, y_train, slots)
+            batch = [pool[index] for index in chosen]
+        # top up with randoms if the pool could not fill the batch
         if len(batch) < batch_size:
+            batch_keys = {self.space.config_key(c) for c in batch}
             batch.extend(
                 self._random_batch(
                     batch_size - len(batch), observed_keys | batch_keys
                 )
             )
         return batch
+
+    # ----------------------------------------------------- slot acquisition
+    def _select_vectorized(
+        self,
+        factor,
+        x_pool: np.ndarray,
+        y_train: np.ndarray,
+        slots: int,
+    ) -> List[int]:
+        """SoA acquisition: all slots' EI over the pool in matrix form.
+
+        Shares one Cholesky factor, one pool cross-kernel, and one
+        posterior-variance computation across the slots; only the
+        scalarization-dependent pieces (alpha solve, posterior mean, y
+        scaling) run per slot, each a cheap :math:`O(n^2)` /
+        :math:`O(n \\cdot |pool|)` operation.
+        """
+        hyper = factor.hyper
+        chol = factor.chol
+        weights = [
+            sample_weight_vector(self.num_objectives, self.rng)
+            for _ in range(slots)
+        ]
+        # pool posterior pieces shared by every slot (same X, same hyper)
+        kernel = GaussianProcess(self.kernel).kernel
+        k_star = kernel(x_pool, factor.x, hyper.lengthscales, hyper.variance)
+        v = np.linalg.solve(chol, k_star.T)
+        var = np.maximum(hyper.variance - np.sum(v**2, axis=0), 1e-12)
+        sqrt_var = np.sqrt(var)
+
+        means = np.empty((slots, x_pool.shape[0]))
+        stds = np.empty_like(means)
+        best = np.empty(slots)
+        for k, w in enumerate(weights):
+            scalar = parego_scalars(y_train, w, self.rho)
+            if not np.all(np.isfinite(scalar)):
+                raise SurrogateError("GP training data must be finite")
+            y_mean = float(scalar.mean())
+            y_sd = float(scalar.std()) if scalar.std() > 1e-12 else 1.0
+            alpha = np.linalg.solve(
+                chol.T, np.linalg.solve(chol, (scalar - y_mean) / y_sd)
+            )
+            means[k] = (k_star @ alpha) * y_sd + y_mean
+            stds[k] = sqrt_var * y_sd
+            best[k] = float(scalar.min())
+        ei = expected_improvement(means, stds, best=best[:, None])
+        return self._mask_argmax(ei)
+
+    def _select_reference(
+        self,
+        factor,
+        x_pool: np.ndarray,
+        y_train: np.ndarray,
+        slots: int,
+    ) -> List[int]:
+        """Slot-by-slot scalar path: one GP refit + predict + EI per slot.
+
+        Runs the identical algorithm through the plain
+        :class:`GaussianProcess` API; kept as the bit-exactness reference
+        for the vectorized path (and exercised by the parity tests).
+        """
+        rows = []
+        for _ in range(slots):
+            w = sample_weight_vector(self.num_objectives, self.rng)
+            scalar = parego_scalars(y_train, w, self.rho)
+            gp = GaussianProcess(self.kernel)
+            gp.fit(factor.x, scalar, hyper=factor.hyper)
+            mean, std = gp.predict(x_pool)
+            rows.append(
+                expected_improvement(mean, std, best=float(scalar.min()))
+            )
+        return self._mask_argmax(np.vstack(rows))
+
+    @staticmethod
+    def _mask_argmax(ei: np.ndarray) -> List[int]:
+        """Sequential per-slot argmax, masking already-selected candidates."""
+        chosen: List[int] = []
+        for row in ei:
+            if chosen:
+                row = row.copy()
+                row[chosen] = -np.inf
+            chosen.append(int(np.argmax(row)))
+        return chosen
 
     def _random_batch(self, count: int, exclude_keys: Set[Tuple]) -> List:
         batch: List = []
@@ -179,21 +283,27 @@ class MOBOSampler:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Posterior mean/std per objective at ``query_configs``.
 
-        Fits one GP per objective column (shared hyperparameters when
-        available); used for surrogate-quality diagnostics and tests.
+        Fits one GP per objective column, reusing the shared
+        hyperparameters of the most recent :meth:`suggest_batch` when
+        available — so diagnostics probe the same surrogate the search
+        actually used; before any batch has been suggested each column
+        falls back to its own marginal-likelihood fit.
         """
-        x_train = np.vstack([self.space.encode(c) for c in train_configs])
+        x_train = self.space.encode_batch(train_configs)
         y_train = np.asarray(train_objectives, dtype=float)
-        x_query = np.vstack([self.space.encode(c) for c in query_configs])
+        x_query = self.space.encode_batch(query_configs)
         means = np.zeros((x_query.shape[0], self.num_objectives))
         stds = np.zeros_like(means)
+        shared = (
+            factorize(self.kernel, x_train, self._shared_hyper)
+            if self._shared_hyper is not None
+            else None
+        )
         for j in range(self.num_objectives):
             gp = GaussianProcess(self.kernel)
-            gp.fit(
-                x_train,
-                y_train[:, j],
-                seed=j,
-                num_restarts=1,
-            )
+            if shared is not None:
+                gp.fit(x_train, y_train[:, j], factor=shared)
+            else:
+                gp.fit(x_train, y_train[:, j], seed=j, num_restarts=1)
             means[:, j], stds[:, j] = gp.predict(x_query)
         return means, stds

@@ -1,0 +1,179 @@
+"""The pre-vectorization MOBO batch sampler, preserved as a benchmark baseline.
+
+This is the outer loop as it stood before the structure-of-arrays rewrite
+of :mod:`repro.optim.mobo`: a fresh 512-candidate pool drawn *and encoded*
+per batch slot, a per-row Python loop for the ParEGO scalarization, a full
+:math:`O(n^3)` GP re-factorization per slot, and finite-difference
+marginal-likelihood fitting.  ``benchmarks/test_bench_outer_loop.py``
+measures the vectorized sampler against this implementation and gates the
+speedup; nothing in the production search path imports it.
+
+Kept deliberately verbatim (same RNG call sequence, same numerics) so the
+baseline cannot silently drift as the main sampler evolves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.hw.space import DiscreteDesignSpace
+from repro.obs.trace import NULL_TRACER
+from repro.optim.acquisition import expected_improvement
+from repro.optim.gp import GaussianProcess, GPHyperparameters
+from repro.optim.scalarize import DEFAULT_RHO, sample_weight_vector, uniform_weights
+from repro.utils.rng import SeedLike, as_generator
+
+
+def _parego_scalar_loop(
+    objectives: Sequence[float], weights: Sequence[float], rho: float
+) -> float:
+    """The original scalar augmented-Tchebycheff formula (BLAS ``ddot``)."""
+    y = np.asarray(objectives, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if y.shape != w.shape:
+        raise ValueError(f"objectives {y.shape} vs weights {w.shape}")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"weights must sum to 1, got {total}")
+    if not np.all(np.isfinite(y)):
+        return float("inf")
+    return float(np.max(w * y) + rho * float(y @ w))
+
+
+def parego_scalars_loop(
+    objective_matrix: np.ndarray,
+    weights: Sequence[float],
+    rho: float = DEFAULT_RHO,
+) -> np.ndarray:
+    """The original per-row Python loop behind ``parego_scalars``."""
+    matrix = np.asarray(objective_matrix, dtype=float)
+    return np.array([_parego_scalar_loop(row, weights, rho) for row in matrix])
+
+
+class LegacyMOBOSampler:
+    """The pre-PR batched hardware sampler (per-slot pools and refits)."""
+
+    def __init__(
+        self,
+        space: DiscreteDesignSpace,
+        num_objectives: int,
+        seed: SeedLike = None,
+        kernel: str = "matern52",
+        rho: float = 0.2,
+        pool_size: int = 512,
+        min_observations: int = 8,
+    ):
+        self.space = space
+        self.num_objectives = num_objectives
+        self.rng = as_generator(seed)
+        self.kernel = kernel
+        self.rho = rho
+        self.pool_size = pool_size
+        self.min_observations = min_observations
+        self._shared_hyper: Optional[GPHyperparameters] = None
+        self.tracer = NULL_TRACER
+
+    # ------------------------------------------------------------------ pools
+    def _candidate_pool(
+        self,
+        exclude_keys: Set[Tuple],
+        incumbents: Sequence,
+    ) -> List:
+        """Random configs + local mutations of incumbents, de-duplicated."""
+        pool: List = []
+        keys = set(exclude_keys)
+        attempts = 0
+        target_random = self.pool_size
+        while len(pool) < target_random and attempts < 20 * target_random:
+            candidate = self.space.sample(self.rng)
+            key = self.space.config_key(candidate)
+            if key not in keys:
+                keys.add(key)
+                pool.append(candidate)
+            attempts += 1
+        for incumbent in incumbents:
+            for _ in range(4):
+                candidate = self.space.mutate(incumbent, self.rng, num_moves=1)
+                key = self.space.config_key(candidate)
+                if key not in keys:
+                    keys.add(key)
+                    pool.append(candidate)
+        return pool
+
+    # ---------------------------------------------------------------- suggest
+    def suggest_batch(
+        self,
+        train_configs: Sequence,
+        train_objectives: np.ndarray,
+        batch_size: int,
+        incumbents: Sequence = (),
+    ) -> List:
+        """Propose ``batch_size`` new configurations (pre-PR algorithm)."""
+        observed_keys = {self.space.config_key(c) for c in train_configs}
+        if len(train_configs) < self.min_observations:
+            return self._random_batch(batch_size, observed_keys)
+
+        x_train = np.vstack([self.space.encode(c) for c in train_configs])
+        y_train = np.asarray(train_objectives, dtype=float)
+        if y_train.ndim != 2 or y_train.shape[1] != self.num_objectives:
+            raise ValueError(
+                f"expected objectives of shape (n, {self.num_objectives}), "
+                f"got {y_train.shape}"
+            )
+
+        # one finite-difference marginal-likelihood optimization per iteration
+        uniform_scalar = parego_scalars_loop(
+            y_train, uniform_weights(self.num_objectives), self.rho
+        )
+        shared_gp = GaussianProcess(self.kernel)
+        shared_gp.fit(
+            x_train,
+            uniform_scalar,
+            seed=int(self.rng.integers(0, 2**31)),
+            num_restarts=1,
+            use_gradient=False,
+        )
+        self._shared_hyper = shared_gp.hyper
+
+        batch: List = []
+        batch_keys: Set[Tuple] = set()
+        for _slot in range(batch_size):
+            # one ParEGO scalarization + GP refit + EI maximization per slot
+            weights = sample_weight_vector(self.num_objectives, self.rng)
+            scalar = parego_scalars_loop(y_train, weights, self.rho)
+            gp = GaussianProcess(self.kernel)
+            gp.fit(x_train, scalar, hyper=self._shared_hyper)
+            pool = self._candidate_pool(observed_keys | batch_keys, incumbents)
+            if not pool:
+                break
+            x_pool = np.vstack([self.space.encode(c) for c in pool])
+            mean, std = gp.predict(x_pool)
+            ei = expected_improvement(mean, std, best=float(scalar.min()))
+            chosen = pool[int(np.argmax(ei))]
+            batch.append(chosen)
+            batch_keys.add(self.space.config_key(chosen))
+        # top up with randoms if pools were exhausted
+        if len(batch) < batch_size:
+            batch.extend(
+                self._random_batch(
+                    batch_size - len(batch), observed_keys | batch_keys
+                )
+            )
+        return batch
+
+    def _random_batch(self, count: int, exclude_keys: Set[Tuple]) -> List:
+        batch: List = []
+        keys = set(exclude_keys)
+        attempts = 0
+        while len(batch) < count and attempts < max(1000, 100 * count):
+            candidate = self.space.sample(self.rng)
+            key = self.space.config_key(candidate)
+            if key not in keys:
+                keys.add(key)
+                batch.append(candidate)
+            attempts += 1
+        return batch

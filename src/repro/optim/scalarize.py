@@ -22,6 +22,45 @@ from repro.utils.rng import SeedLike, as_generator
 DEFAULT_RHO = 0.2
 
 
+def _validated_weights(weights: Sequence[float], num_objectives: int) -> np.ndarray:
+    """Shared weight validation of Eq. (1): non-negative, summing to 1."""
+    w = np.asarray(weights, dtype=float)
+    if w.shape != (num_objectives,):
+        raise ValueError(
+            f"objectives ({num_objectives},) vs weights {w.shape}"
+        )
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"weights must sum to 1, got {total}")
+    return w
+
+
+def parego_scalars(
+    objective_matrix: np.ndarray,
+    weights: Sequence[float],
+    rho: float = DEFAULT_RHO,
+) -> np.ndarray:
+    """Vectorized Eq. (1) over the rows of ``objective_matrix``.
+
+    One elementwise ``max`` plus one ``einsum`` row reduction over the whole
+    matrix — no per-row Python.  ``einsum`` (not BLAS ``@``) keeps each
+    row's reduction order independent of the batch size, so a row's scalar
+    is bit-identical whether it is computed alone or inside a pool matrix
+    (the property the scalar/vectorized acquisition parity tests rely on).
+    Rows with any non-finite objective scalarize to ``inf``, exactly like
+    :func:`parego_scalar`.
+    """
+    matrix = np.atleast_2d(np.asarray(objective_matrix, dtype=float))
+    w = _validated_weights(weights, matrix.shape[1])
+    if matrix.shape[0] == 0:
+        return np.zeros(0)
+    values = np.max(w * matrix, axis=1) + rho * np.einsum("ij,j->i", matrix, w)
+    values[~np.all(np.isfinite(matrix), axis=1)] = np.inf
+    return values
+
+
 def parego_scalar(
     objectives: Sequence[float],
     weights: Sequence[float],
@@ -30,30 +69,13 @@ def parego_scalar(
     """Eq. (1): augmented Tchebycheff fidelity scalar (lower is better).
 
     ``objectives`` should already be normalized to a shared scale; weights
-    must be non-negative and sum to 1.
+    must be non-negative and sum to 1.  Delegates to the vectorized kernel
+    so the scalar and batched paths are bit-identical by construction.
     """
     y = np.asarray(objectives, dtype=float)
-    w = np.asarray(weights, dtype=float)
-    if y.shape != w.shape:
-        raise ValueError(f"objectives {y.shape} vs weights {w.shape}")
-    if np.any(w < 0):
-        raise ValueError("weights must be non-negative")
-    total = w.sum()
-    if not np.isclose(total, 1.0, atol=1e-6):
-        raise ValueError(f"weights must sum to 1, got {total}")
-    if not np.all(np.isfinite(y)):
-        return float("inf")
-    return float(np.max(w * y) + rho * float(y @ w))
-
-
-def parego_scalars(
-    objective_matrix: np.ndarray,
-    weights: Sequence[float],
-    rho: float = DEFAULT_RHO,
-) -> np.ndarray:
-    """Vectorized :func:`parego_scalar` over rows of ``objective_matrix``."""
-    matrix = np.asarray(objective_matrix, dtype=float)
-    return np.array([parego_scalar(row, weights, rho) for row in matrix])
+    if y.ndim != 1:
+        raise ValueError(f"objectives must be a vector, got shape {y.shape}")
+    return float(parego_scalars(y[None, :], weights, rho)[0])
 
 
 def sample_weight_vector(

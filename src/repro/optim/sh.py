@@ -28,6 +28,21 @@ import numpy as np
 
 from repro.errors import SearchBudgetError
 
+__all__ = [
+    "Trial",
+    "RoundPlan",
+    "terminal_value",
+    "terminal_values",
+    "auc_score",
+    "relative_auc_score",
+    "relative_auc_scores",
+    "plan_rounds",
+    "select_survivors",
+    "select_survivors_detailed",
+    "select_survivors_soa",
+    "run_successive_halving",
+]
+
 DEFAULT_ETA = 2.0
 DEFAULT_KEEP_FRACTION = 0.5
 DEFAULT_AUC_FRACTION = 0.15
@@ -78,6 +93,60 @@ def relative_auc_score(curve: np.ndarray) -> float:
     if end_value <= 0:
         return auc_score(curve)
     return auc_score(curve) / end_value
+
+
+# ------------------------------------------------------------------ SoA stats
+def _pad_curves(curves: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack ragged curves into one ``(n, max_len)`` NaN-padded matrix."""
+    arrays = [np.asarray(curve, dtype=float) for curve in curves]
+    width = max((a.size for a in arrays), default=0)
+    matrix = np.full((len(arrays), max(width, 1)), np.nan)
+    for row, array in enumerate(arrays):
+        matrix[row, : array.size] = array
+    return matrix
+
+
+def terminal_values(curves: Sequence[np.ndarray]) -> np.ndarray:
+    """:func:`terminal_value` of every curve, as one array."""
+    values = np.full(len(curves), np.inf)
+    for row, curve in enumerate(curves):
+        curve = np.asarray(curve, dtype=float)
+        if curve.size:
+            values[row] = curve[-1]
+    return values
+
+
+def relative_auc_scores(curves: Sequence[np.ndarray]) -> np.ndarray:
+    """:func:`relative_auc_score` of every curve, computed matrix-at-once.
+
+    Works on the NaN-padded curve matrix with masked reductions.  The
+    trapezoid sum over each curve's compressed finite values telescopes
+    (unit spacing, heights ``h_i = v_i - end``, ``h_last = 0``) to
+
+        ``sum(h) - (h_first + h_last) / 2 = sum(v) - m*end - (first - end)/2``
+
+    so no per-candidate Python loop over curve points is needed.  Values
+    agree with the scalar helper to floating-point roundoff (the reduction
+    association differs); promotion decisions compare distinct candidates'
+    scores, which are far apart relative to that noise.
+    """
+    if not len(curves):
+        return np.zeros(0)
+    matrix = _pad_curves(curves)
+    finite = np.isfinite(matrix)
+    counts = finite.sum(axis=1)
+    # first/last finite value per row (rows with < 2 finite points score 0)
+    any_rows = counts > 0
+    first_idx = np.argmax(finite, axis=1)
+    last_idx = matrix.shape[1] - 1 - np.argmax(finite[:, ::-1], axis=1)
+    rows = np.arange(matrix.shape[0])
+    first = np.where(any_rows, matrix[rows, first_idx], 0.0)
+    end = np.where(any_rows, matrix[rows, last_idx], 0.0)
+    totals = np.where(finite, matrix, 0.0).sum(axis=1)
+    auc = totals - counts * end - (first - end) / 2.0
+    scores = np.where(end > 0, auc / np.where(end > 0, end, 1.0), auc)
+    scores[counts < 2] = 0.0
+    return scores
 
 
 @dataclass(frozen=True)
@@ -189,6 +258,57 @@ def select_survivors_detailed(
         if candidate not in selected_set:
             tv_selected.append(candidate)
             selected_set.add(candidate)
+    return tv_selected + auc_selected, auc_selected
+
+
+def select_survivors_soa(
+    candidate_ids: Sequence[int],
+    tvs: np.ndarray,
+    aucs: np.ndarray,
+    keep: int,
+    auc_promotions: int,
+) -> Tuple[List[int], List[int]]:
+    """Structure-of-arrays :func:`select_survivors_detailed`.
+
+    Takes the TV/AUC scores as arrays positionally aligned with
+    ``candidate_ids`` (as produced by :func:`terminal_values` /
+    :func:`relative_auc_scores`) instead of per-id dicts, and sorts with
+    ``np.lexsort`` instead of per-id key functions.  Given equal scores it
+    returns exactly what :func:`select_survivors_detailed` returns — the
+    (score, id) sort keys are unique, so both orderings are the same total
+    order (asserted by the parity tests).
+    """
+    ids = np.asarray(candidate_ids, dtype=np.int64)
+    tvs = np.asarray(tvs, dtype=float)
+    aucs = np.asarray(aucs, dtype=float)
+    if keep < 0 or auc_promotions < 0:
+        raise SearchBudgetError("keep and auc_promotions must be non-negative")
+    if auc_promotions > keep:
+        raise SearchBudgetError(
+            f"auc_promotions ({auc_promotions}) cannot exceed keep ({keep})"
+        )
+    if keep >= ids.size:
+        return [int(i) for i in ids], []
+    # lexsort: last key is primary; ids break score ties, as in the dict path
+    tv_order = np.lexsort((ids, tvs))
+    auc_order = np.lexsort((ids, -aucs))
+    tv_selected = [int(ids[pos]) for pos in tv_order[: keep - auc_promotions]]
+    selected = np.zeros(ids.size, dtype=bool)
+    selected[tv_order[: keep - auc_promotions]] = True
+    auc_selected: List[int] = []
+    for pos in auc_order:
+        if len(auc_selected) >= auc_promotions:
+            break
+        if not selected[pos]:
+            auc_selected.append(int(ids[pos]))
+            selected[pos] = True
+    # backfill from TV order if AUC could not supply enough fresh candidates
+    for pos in tv_order:
+        if len(tv_selected) + len(auc_selected) >= keep:
+            break
+        if not selected[pos]:
+            tv_selected.append(int(ids[pos]))
+            selected[pos] = True
     return tv_selected + auc_selected, auc_selected
 
 

@@ -130,3 +130,48 @@ class TestReferencePoint:
     def test_all_infinite_raises(self):
         with pytest.raises(ValueError):
             reference_point_from(np.array([[np.inf, np.inf]]))
+
+    def test_beyond_worst_when_all_negative(self):
+        """A multiplicative margin would move *inward* for negative worsts."""
+        points = np.array([[-3.0, -5.0], [-1.0, -8.0]])
+        reference = reference_point_from(points)
+        assert np.all(reference > points.max(axis=0))
+        # every point must remain strictly inside the reference box
+        assert np.all(points < reference[None, :])
+
+    def test_beyond_worst_mixed_signs(self):
+        points = np.array([[-2.0, 4.0], [1.0, -3.0], [0.0, 0.0]])
+        reference = reference_point_from(points)
+        assert np.all(reference > points.max(axis=0))
+
+    def test_zero_worst_still_padded(self):
+        points = np.array([[-1.0, 0.0], [0.0, -2.0]])
+        reference = reference_point_from(points)
+        assert np.all(reference > 0.0)
+
+    def test_margin_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            reference_point_from(np.array([[1.0, 2.0]]), margin=1.0)
+
+    def test_no_point_clipped_negative_values(self):
+        """All-negative fronts keep positive hypervolume under the derived
+        reference — the regression the additive margin fixes."""
+        rng = np.random.default_rng(0)
+        points = -rng.random((8, 3)) - 0.5  # strictly negative objectives
+        reference = reference_point_from(points)
+        exact = hypervolume(points, reference)
+        assert exact > 0.0
+        estimate = hypervolume_monte_carlo(
+            points, reference, num_samples=150_000, seed=2
+        )
+        assert exact == pytest.approx(estimate, rel=0.05)
+
+    def test_monte_carlo_cross_check_mixed_signs(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(-1.0, 1.0, (10, 2))
+        reference = reference_point_from(points)
+        exact = hypervolume(points, reference)
+        estimate = hypervolume_monte_carlo(
+            points, reference, num_samples=150_000, seed=3
+        )
+        assert exact == pytest.approx(estimate, rel=0.05, abs=0.01)
