@@ -11,6 +11,9 @@ Commands
   service (for master-slave deployments).
 * ``stats`` — query a running PPA service's ``GET /metrics`` endpoint and
   summarize query counts, cache behaviour and request latency.
+* ``learned`` — train/evaluate a journal-distilled learned cost model
+  (``repro learned train``), then screen a run with it
+  (``repro run ... --screen model.json``).
 """
 
 from __future__ import annotations
@@ -70,6 +73,10 @@ def _cmd_run(args) -> int:
         print("error: --trace requires --track (spans live in the run "
               "directory)", file=sys.stderr)
         return 2
+    if args.record_samples and not args.track:
+        print("error: --record-samples requires --track (samples are "
+              "journal events)", file=sys.stderr)
+        return 2
     result = run_method(
         args.method,
         args.scenario,
@@ -80,11 +87,95 @@ def _cmd_run(args) -> int:
         checkpoint_every=args.checkpoint_every,
         eval_batch_size=args.batch_size,
         trace=args.trace,
+        tool=args.tool,
+        record_samples=args.record_samples,
+        screen=args.screen,
+        screen_topk=args.screen_topk,
     )
     _print_result(result, args.method, args.network, args.scenario)
     if "trace_path" in result.extras:
         print(f"trace written to {result.extras['trace_path']} "
               f"(trace id {result.extras['trace_id']})")
+    screening = result.extras.get("screening")
+    if screening:
+        print(
+            f"screening: {screening.get('forwarded', 0)} forwarded / "
+            f"{screening.get('candidates_seen', 0)} candidates seen "
+            f"({screening.get('evals_saved', 0)} analytical evals saved, "
+            f"precision {screening.get('precision', 0.0):.1%})"
+        )
+    return 0
+
+
+# ------------------------------------------------------------------ learned
+def _cmd_learned_train(args) -> int:
+    from repro.learned import LearnedCostModel, build_dataset
+
+    dataset = build_dataset(args.runs_dir)
+    stats = dataset.stats
+    print(
+        f"dataset: {len(dataset)} samples from {stats['journals']} journals "
+        f"({stats['duplicates']} duplicates, {stats['skipped']} skipped, "
+        f"{stats['truncated_journals']} truncated)"
+    )
+    if not len(dataset):
+        print(
+            "error: no engine_sample events found — record training data "
+            "first with `repro run ... --track --record-samples`",
+            file=sys.stderr,
+        )
+        return 1
+    model = LearnedCostModel.fit(
+        dataset.x,
+        dataset.latency_s,
+        dataset.energy_j,
+        dataset.feasible,
+        seed=args.seed,
+        hidden=args.hidden,
+        ensemble=args.ensemble,
+        epochs=args.epochs,
+        meta={"runs_dir": str(args.runs_dir), "dataset": stats},
+    )
+    model.save(args.out)
+    meta = model.meta
+    print(
+        f"trained on {meta['n_train']} rows ({meta['n_feasible']} feasible), "
+        f"val MAE log-latency {meta['val_mae_log_latency']:.4f}, "
+        f"log-energy {meta['val_mae_log_energy']:.4f}"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_learned_eval(args) -> int:
+    import numpy as np
+
+    from repro.learned import LearnedCostModel, build_dataset
+
+    model = LearnedCostModel.load(args.model)
+    dataset = build_dataset(args.runs_dir)
+    if not len(dataset):
+        print("error: no engine_sample events to evaluate on", file=sys.stderr)
+        return 1
+    finite = np.isfinite(dataset.latency_s) & np.isfinite(dataset.energy_j)
+    mean, _std = model.predict(dataset.x)
+    print(f"model {args.model} on {len(dataset)} samples "
+          f"({int(finite.sum())} feasible)")
+    if finite.any():
+        err_lat = np.abs(mean[finite, 0] - np.log(dataset.latency_s[finite]))
+        err_en = np.abs(mean[finite, 1] - np.log(dataset.energy_j[finite]))
+        true_rank = np.argsort(np.argsort(dataset.latency_s[finite]))
+        pred_rank = np.argsort(np.argsort(mean[finite, 0]))
+        if len(true_rank) > 1:
+            rho = float(np.corrcoef(true_rank, pred_rank)[0, 1])
+        else:
+            rho = float("nan")
+        print(f"  MAE log-latency   {float(err_lat.mean()):.4f}")
+        print(f"  MAE log-energy    {float(err_en.mean()):.4f}")
+        print(f"  rank corr (lat)   {rho:.3f}")
+    proba = model.feasible_proba(dataset.x)
+    accuracy = float(((proba >= 0.5) == dataset.feasible).mean())
+    print(f"  feasibility acc   {accuracy:.1%}")
     return 0
 
 
@@ -509,7 +600,57 @@ def build_parser() -> argparse.ArgumentParser:
              "runs/<id>/trace.json and journals span events for "
              "`runs profile`",
     )
+    run_parser.add_argument(
+        "--tool", default=None,
+        help="override the scenario's SW mapping tool (e.g. 'oneloop' for "
+             "the learned gradient-descent search)",
+    )
+    run_parser.add_argument(
+        "--record-samples", action="store_true",
+        help="journal every computed candidate as an engine_sample event "
+             "(requires --track); the corpus for `repro learned train`",
+    )
+    run_parser.add_argument(
+        "--screen", default=None, metavar="MODEL",
+        help="screen evaluation batches with this saved learned model "
+             "(see `repro learned train`); only predicted-best candidates "
+             "reach the analytical engine",
+    )
+    run_parser.add_argument(
+        "--screen-topk", type=int, default=None,
+        help="candidates forwarded per screened batch (default: 25%% of "
+             "the batch)",
+    )
     run_parser.set_defaults(fn=_cmd_run)
+
+    learned_parser = sub.add_parser(
+        "learned", help="train / evaluate a journal-distilled cost model"
+    )
+    learned_sub = learned_parser.add_subparsers(
+        dest="learned_command", required=True
+    )
+
+    learned_train = learned_sub.add_parser(
+        "train", help="distill journalled engine_sample events into a model"
+    )
+    learned_train.add_argument("--runs-dir", default="runs",
+                               help="run store to harvest samples from")
+    learned_train.add_argument("--out", default="learned_model.json",
+                               help="where to save the trained model")
+    learned_train.add_argument("--seed", type=int, default=0)
+    learned_train.add_argument("--hidden", type=int, default=32,
+                               help="MLP hidden width")
+    learned_train.add_argument("--ensemble", type=int, default=4,
+                               help="MLP ensemble members (plus one ridge)")
+    learned_train.add_argument("--epochs", type=int, default=300)
+    learned_train.set_defaults(fn=_cmd_learned_train)
+
+    learned_eval = learned_sub.add_parser(
+        "eval", help="score a saved model against journalled samples"
+    )
+    learned_eval.add_argument("model", help="saved model JSON path")
+    learned_eval.add_argument("--runs-dir", default="runs")
+    learned_eval.set_defaults(fn=_cmd_learned_eval)
 
     runs_parser = sub.add_parser(
         "runs", help="inspect / resume tracked runs (see `run --track`)"

@@ -24,6 +24,8 @@ from repro.core.robustness import RobustnessResult, robustness_metric
 from repro.costmodel.engine import PPAEngine
 from repro.costmodel.results import NetworkPPA
 from repro.errors import ConfigurationError
+from repro.learned.oneloop import OneLoopMappingSearch
+from repro.learned.screen import SCREENED_REASON
 from repro.mapping.base import AnytimeMappingSearch
 from repro.mapping.cosa import CosaMapper
 from repro.mapping.flextensor import FlexTensorSearch
@@ -38,6 +40,7 @@ SEARCH_TOOLS: Dict[str, Type[AnytimeMappingSearch]] = {
     "random": RandomMappingSearch,
     "fusion": DepthFirstFusionSearch,
     "cosa": CosaMapper,
+    "oneloop": OneLoopMappingSearch,
 }
 
 
@@ -87,6 +90,17 @@ class _QueryCountingEngine:
         return self._engine.evaluate_layers(hw, requests)
 
     def evaluate_candidates(self, hw, layer_name, mappings):
+        if getattr(self._engine, "is_screening", False):
+            # a screening wrapper forwards only part of the batch to the
+            # analytical engine; only those candidates cost a query (and
+            # therefore simulated eval time).  Screened-out results are
+            # tagged, so per-trial accounting stays race-free.
+            results = self._engine.evaluate_candidates(hw, layer_name, mappings)
+            self.local_queries += sum(
+                1 for result in results
+                if result.infeasible_reason != SCREENED_REASON
+            )
+            return results
         self.local_queries += len(mappings)
         return self._engine.evaluate_candidates(hw, layer_name, mappings)
 

@@ -135,11 +135,17 @@ class JobRunner:
             futures = [pool.submit(job) for job in jobs]
             return [future.result() for future in futures]
 
-    @staticmethod
-    def _all_picklable(jobs: Sequence[Callable[[], ResultT]]) -> bool:
+    def _all_picklable(self, jobs: Sequence[Callable[[], ResultT]]) -> bool:
         for job in jobs:
             try:
                 pickle.dumps(job)
-            except Exception:
+            except Exception as error:
+                # expected for closures/local state; surfaced through the
+                # metrics path (not swallowed) so operators can see *why*
+                # process dispatch degraded to threads
+                self.metrics.counter("runner_unpicklable_jobs_total").inc()
+                self.metrics.counter(
+                    f"runner_unpicklable_{type(error).__name__}_total"
+                ).inc()
                 return False
         return True

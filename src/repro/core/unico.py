@@ -391,13 +391,17 @@ class Unico(CoOptimizer):
                     self.tracker.on_iteration_end(self, record)
             run_span.set_attribute("iterations", len(self.iteration_records))
             run_span.set_attribute("pareto_size", len(self.pareto))
-        result = self.make_result(
-            extras={
-                "iterations": len(self.iteration_records),
-                "train_set_size": len(self.train_configs),
-                "final_uul": self.selector.uul,
-                "iteration_records": self.iteration_records,
-            }
-        )
+        extras = {
+            "iterations": len(self.iteration_records),
+            "train_set_size": len(self.train_configs),
+            "final_uul": self.selector.uul,
+            "iteration_records": self.iteration_records,
+        }
+        # a learned screening wrapper reports how many analytical
+        # evaluations it saved (and at what measured precision/recall)
+        screen_stats = getattr(self.engine, "screen_stats", None)
+        if screen_stats is not None:
+            extras["screening"] = screen_stats()
+        result = self.make_result(extras=extras)
         self.tracker.on_run_end(self, result)
         return result

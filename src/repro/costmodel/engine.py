@@ -115,6 +115,12 @@ class PPAEngine(ABC):
         #: span tracer; the shared :data:`~repro.obs.trace.NULL_TRACER` by
         #: default, so untraced queries pay one attribute check.
         self.tracer = NULL_TRACER
+        #: optional ``sink(hw, layer_name, mapping, shape, result)`` invoked
+        #: once per *computed* (cache-miss) candidate — the opt-in source of
+        #: ``engine_sample`` journal events for learned-model training.
+        #: Cache hits are skipped: they would only duplicate a sample the
+        #: sink already saw.
+        self.sample_sink = None
 
     # -- subclass contract ----------------------------------------------------
     @abstractmethod
@@ -229,6 +235,8 @@ class PPAEngine(ABC):
             return cached
         result = self._timed_compute(hw, mapping, layer_name, shape)
         self._cache_store(key, result)
+        if self.sample_sink is not None:
+            self.sample_sink(hw, layer_name, mapping, shape, result)
         if tracer.enabled:
             tracer.record_leaf(
                 "engine_eval", wall_start, sim_start,
@@ -331,8 +339,10 @@ class PPAEngine(ABC):
             self.metrics.histogram(
                 "engine_batch_compute_seconds_per_item", PER_ITEM_LATENCY_BOUNDS
             ).observe(elapsed / len(miss_mappings))
-            for key, result in zip(miss_keys, computed):
+            for key, mapping, result in zip(miss_keys, miss_mappings, computed):
                 self._cache_store(key, result)
+                if self.sample_sink is not None:
+                    self.sample_sink(hw, layer_name, mapping, shape, result)
                 for index in miss_positions[key]:
                     results[index] = result
         return results

@@ -512,7 +512,14 @@ class RemotePPAEngine(PPAEngine):
         try:
             payload = json.loads(error.read())
             return str(payload.get("error", payload))
-        except Exception:
+        except Exception as parse_error:
+            # a non-JSON error body (proxy page, truncated response) is
+            # routine, but the drop is counted per exception type so a
+            # systematically malformed server shows up on /metrics
+            self.metrics.counter("remote_error_body_unparsed_total").inc()
+            self.metrics.counter(
+                f"remote_error_body_{type(parse_error).__name__}_total"
+            ).inc()
             return str(error)
 
     def _request_json(self, path: str, payload: Optional[Dict] = None) -> Dict:

@@ -127,6 +127,7 @@ def build_optimizer(
     seed: int = 0,
     time_budget_s: Optional[float] = None,
     eval_batch_size: int = 1,
+    tool: Optional[str] = None,
 ):
     """Construct (without running) the co-optimizer for one cell.
 
@@ -138,12 +139,17 @@ def build_optimizer(
     mapping search (one PPA-engine batch call per that many candidates);
     1 keeps the classic scalar loop and reproduces its trajectories
     exactly.
+
+    ``tool`` overrides the scenario's default SW mapping tool (e.g.
+    ``"oneloop"`` for the learned gradient-descent search); ``None``
+    keeps the platform default.
     """
     if method not in METHODS:
         raise ConfigurationError(f"unknown method {method!r}; use one of {METHODS}")
     preset = get_preset(preset) if isinstance(preset, str) else preset
     network = resolve_workload(workload)
-    space, engine, caps, tool, workers = make_platform(scenario, network)
+    space, engine, caps, default_tool, workers = make_platform(scenario, network)
+    tool = default_tool if tool is None else tool
 
     if method in _UNICO_VARIANTS:
         variant = _UNICO_VARIANTS[method]
@@ -222,6 +228,43 @@ def build_optimizer(
     return optimizer
 
 
+def _resolve_screen(screen, screen_topk: Optional[int]):
+    """Normalize the ``screen`` argument to (model, provenance dict).
+
+    ``screen`` may be ``None`` (no screening), a path to a saved
+    :class:`~repro.learned.LearnedCostModel`, or an already-loaded model.
+    The provenance dict is what lands in the run manifest and the
+    ``learned_model`` journal event: enough to re-load the model on
+    resume and to audit which model screened a run.
+    """
+    if screen is None:
+        return None, None
+    from repro.learned import FEATURE_VERSION, LearnedCostModel
+
+    if isinstance(screen, LearnedCostModel):
+        model, path = screen, None
+    else:
+        model, path = LearnedCostModel.load(screen), str(screen)
+    info = {
+        "model_path": path,
+        "model_sha256": _file_sha256(path) if path else None,
+        "feature_version": FEATURE_VERSION,
+        "topk": screen_topk,
+        "meta": dict(model.meta),
+    }
+    return model, info
+
+
+def _file_sha256(path) -> str:
+    import hashlib
+
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(65536), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
 def _workload_name(workload: Union[str, Network, Sequence[str]]):
     """Manifest-friendly workload identity (name or list of names)."""
     if isinstance(workload, Network):
@@ -243,6 +286,10 @@ def run_method(
     checkpoint_every: int = 1,
     eval_batch_size: int = 1,
     trace: bool = False,
+    tool: Optional[str] = None,
+    record_samples: bool = False,
+    screen=None,
+    screen_topk: Optional[int] = None,
 ) -> CoSearchResult:
     """Run one (method, scenario, workload) cell and return its result.
 
@@ -262,6 +309,20 @@ def run_method(
     (Chrome trace format); the trace id lands in
     ``result.extras["trace_id"]``.  Tracing is observational — results
     are bit-identical to an untraced run with the same seeds.
+
+    Learned subsystem (:mod:`repro.learned`):
+
+    * ``record_samples=True`` (requires ``run_store``) installs a
+      :class:`~repro.tracking.JournalSampleSink` on the engine so every
+      computed candidate lands in the journal as an ``engine_sample``
+      event — the training corpus for ``repro learned train``.
+    * ``screen`` (a model path or a loaded
+      :class:`~repro.learned.LearnedCostModel`) wraps the engine in a
+      :class:`~repro.learned.ScreeningPPAEngine` that forwards only the
+      model's predicted-best ``screen_topk`` candidates per batch to the
+      analytical engine.  Every surfaced number stays exact analytical
+      PPA; with ``screen=None`` the run is bit-identical to today.
+    * ``tool`` overrides the scenario's mapping tool (e.g. ``oneloop``).
     """
     if tracker is not None and run_store is not None:
         raise ConfigurationError(
@@ -281,7 +342,9 @@ def run_method(
         seed=seed,
         time_budget_s=time_budget_s,
         eval_batch_size=eval_batch_size,
+        tool=tool,
     )
+    screen_model, screen_info = _resolve_screen(screen, screen_topk)
     run = None
     if tracker is None and run_store is not None:
         import dataclasses
@@ -303,14 +366,39 @@ def run_method(
                 "seed": seed,
                 "time_budget_s": time_budget_s,
                 "eval_batch_size": eval_batch_size,
+                "tool": tool,
+                "record_samples": bool(record_samples),
+                "screen": screen_info,
                 "space": optimizer.space.name,
                 "engine": type(optimizer.engine).__name__,
                 "config": to_jsonable(dataclasses.asdict(optimizer.config)),
             }
         )
         tracker = JournalTracker(run, checkpoint_every=checkpoint_every)
+    if screen_model is not None:
+        from repro.learned import ScreeningPPAEngine
+
+        optimizer.engine = ScreeningPPAEngine(
+            optimizer.engine,
+            model=screen_model,
+            topk=screen_topk,
+        )
     if tracker is not None:
         optimizer.tracker = tracker
+    journal = getattr(tracker, "journal", None) if tracker is not None else None
+    if record_samples:
+        if journal is None:
+            raise ConfigurationError(
+                "record_samples=True needs a journal: pass run_store= (or a "
+                "JournalTracker) so engine_sample events have somewhere to go"
+            )
+        from repro.tracking import JournalSampleSink
+
+        optimizer.engine.sample_sink = JournalSampleSink(journal)
+    if screen_info is not None and journal is not None:
+        # model provenance in the journal: resume and post-hoc analysis can
+        # see exactly which model screened this run
+        journal.append("learned_model", screen_info)
     tracer = None
     if trace and run is not None:
         from repro.obs.chrome import ChromeTraceSink
@@ -343,6 +431,12 @@ def run_method(
         tracker.on_run_end(optimizer, result)
     result.extras["method_requested"] = method
     result.extras["scenario"] = scenario
+    if screen_info is not None:
+        result.extras["screen_model"] = screen_info
+        # the baselines don't thread engine extras through optimize();
+        # surface the wrapper's counters for every method here
+        if "screening" not in result.extras:
+            result.extras["screening"] = optimizer.engine.screen_stats()
     if run is not None:
         result.extras["run_id"] = run.run_id
     if tracer is not None:

@@ -1,0 +1,423 @@
+"""Pure-NumPy learned cost model: a small MLP/ridge ensemble.
+
+The model predicts ``(log latency, log energy)`` of a candidate mapping
+from its :mod:`repro.learned.features` vector, plus a logistic
+feasibility probability.  Uncertainty is the ensemble's disagreement
+(std across members) scaled by a calibration factor fit on held-out
+data, so "one calibrated std" approximates the typical held-out error —
+the screening engine uses it to escalate candidates the model is unsure
+about.
+
+Everything is deterministic under a fixed seed and serializes to a
+single JSON file (no pickle), making model artifacts diffable and safe
+to load from untrusted run directories.  Training is full-batch Adam on
+standardized inputs/targets; the sample counts this repo produces (1e3 -
+1e5 journaled evaluations) fit comfortably in memory.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EvaluationError
+from repro.learned.features import FEATURE_VERSION, feature_dim
+
+#: objective name -> weight over the (log latency, log energy) outputs;
+#: "edp" is their sum because the outputs live in log space.
+OBJECTIVE_WEIGHTS: Dict[str, Tuple[float, float]] = {
+    "latency": (1.0, 0.0),
+    "energy": (0.0, 1.0),
+    "edp": (1.0, 1.0),
+}
+
+_N_OUTPUTS = 2
+_STD_FLOOR = 1e-9
+
+
+def _standardize_fit(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    mean = values.mean(axis=0)
+    scale = values.std(axis=0)
+    scale = np.where(scale < 1e-8, 1.0, scale)
+    return mean, scale
+
+
+def _adam_steps(shapes: Sequence[Tuple[int, ...]]):
+    """Stateful Adam update closure over a list of parameter arrays."""
+    moments = [
+        (np.zeros(shape), np.zeros(shape)) for shape in shapes
+    ]
+    state = {"t": 0}
+
+    def step(params: List[np.ndarray], grads: List[np.ndarray], lr: float) -> None:
+        state["t"] += 1
+        t = state["t"]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        for index, (param, grad) in enumerate(zip(params, grads)):
+            m, v = moments[index]
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad * grad
+            m_hat = m / (1.0 - beta1 ** t)
+            v_hat = v / (1.0 - beta2 ** t)
+            param -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    return step
+
+
+class _MLPMember:
+    """One tanh-hidden-layer regressor; trained with full-batch Adam."""
+
+    kind = "mlp"
+
+    def __init__(self, w1, b1, w2, b2):
+        self.w1, self.b1, self.w2, self.b2 = w1, b1, w2, b2
+
+    @classmethod
+    def fit(
+        cls,
+        x: np.ndarray,
+        y: np.ndarray,
+        hidden: int,
+        epochs: int,
+        lr: float,
+        seed: int,
+    ) -> "_MLPMember":
+        rng = np.random.default_rng(seed)
+        dim = x.shape[1]
+        w1 = rng.normal(0.0, 1.0 / np.sqrt(dim), size=(dim, hidden))
+        b1 = np.zeros(hidden)
+        w2 = rng.normal(0.0, 1.0 / np.sqrt(hidden), size=(hidden, _N_OUTPUTS))
+        b2 = np.zeros(_N_OUTPUTS)
+        params = [w1, b1, w2, b2]
+        step = _adam_steps([p.shape for p in params])
+        count = x.shape[0]
+        for _ in range(epochs):
+            hidden_act = np.tanh(x @ w1 + b1)
+            pred = hidden_act @ w2 + b2
+            err = (pred - y) / count
+            grad_w2 = hidden_act.T @ err
+            grad_b2 = err.sum(axis=0)
+            back = (err @ w2.T) * (1.0 - hidden_act * hidden_act)
+            grad_w1 = x.T @ back
+            grad_b1 = back.sum(axis=0)
+            step(params, [grad_w1, grad_b1, grad_w2, grad_b2], lr)
+        return cls(w1, b1, w2, b2)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x @ self.w1 + self.b1) @ self.w2 + self.b2
+
+    def grad_input(self, x: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """d(weights . outputs)/dx for one standardized sample ``x`` (D,)."""
+        hidden_act = np.tanh(x @ self.w1 + self.b1)
+        out_vec = self.w2 @ weights
+        return self.w1 @ ((1.0 - hidden_act * hidden_act) * out_vec)
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "w1": self.w1.tolist(),
+            "b1": self.b1.tolist(),
+            "w2": self.w2.tolist(),
+            "b2": self.b2.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "_MLPMember":
+        return cls(
+            np.asarray(data["w1"], dtype=np.float64),
+            np.asarray(data["b1"], dtype=np.float64),
+            np.asarray(data["w2"], dtype=np.float64),
+            np.asarray(data["b2"], dtype=np.float64),
+        )
+
+
+class _RidgeMember:
+    """Closed-form linear member; anchors the ensemble and its gradients."""
+
+    kind = "ridge"
+
+    def __init__(self, weights: np.ndarray, bias: np.ndarray):
+        self.weights, self.bias = weights, bias
+
+    @classmethod
+    def fit(cls, x: np.ndarray, y: np.ndarray, lam: float = 1.0) -> "_RidgeMember":
+        dim = x.shape[1]
+        gram = x.T @ x + lam * np.eye(dim)
+        weights = np.linalg.solve(gram, x.T @ y)
+        bias = y.mean(axis=0) - x.mean(axis=0) @ weights
+        return cls(weights, bias)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.weights + self.bias
+
+    def grad_input(self, x: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        return self.weights @ weights
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "weights": self.weights.tolist(),
+            "bias": self.bias.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "_RidgeMember":
+        return cls(
+            np.asarray(data["weights"], dtype=np.float64),
+            np.asarray(data["bias"], dtype=np.float64),
+        )
+
+
+_MEMBER_KINDS = {"mlp": _MLPMember, "ridge": _RidgeMember}
+
+
+class LearnedCostModel:
+    """Ensemble cost model with calibrated uncertainty and a feasibility head."""
+
+    def __init__(
+        self,
+        members: Sequence,
+        x_mean: np.ndarray,
+        x_scale: np.ndarray,
+        y_mean: np.ndarray,
+        y_scale: np.ndarray,
+        feas_weights: np.ndarray,
+        feas_bias: float,
+        calibration: float = 1.0,
+        meta: Optional[Dict] = None,
+    ):
+        self.members = list(members)
+        self.x_mean, self.x_scale = x_mean, x_scale
+        self.y_mean, self.y_scale = y_mean, y_scale
+        self.feas_weights, self.feas_bias = feas_weights, feas_bias
+        self.calibration = float(calibration)
+        self.meta = dict(meta or {})
+        self.meta.setdefault("feature_version", FEATURE_VERSION)
+
+    # ------------------------------------------------------------------ train
+    @classmethod
+    def fit(
+        cls,
+        x: np.ndarray,
+        y_latency: np.ndarray,
+        y_energy: np.ndarray,
+        feasible: np.ndarray,
+        seed: int = 0,
+        hidden: int = 32,
+        ensemble: int = 4,
+        epochs: int = 300,
+        lr: float = 0.01,
+        val_fraction: float = 0.2,
+        max_rows: int = 16384,
+        meta: Optional[Dict] = None,
+    ) -> "LearnedCostModel":
+        """Train on raw arrays; regression uses the feasible rows only."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != feature_dim():
+            raise ConfigurationError(
+                f"expected features of width {feature_dim()}, got {x.shape}"
+            )
+        feasible = np.asarray(feasible, dtype=bool)
+        targets = np.stack(
+            [np.asarray(y_latency, dtype=np.float64),
+             np.asarray(y_energy, dtype=np.float64)],
+            axis=1,
+        )
+        usable = feasible & np.isfinite(targets).all(axis=1) & (targets > 0).all(axis=1)
+        if usable.sum() < 8:
+            raise ConfigurationError(
+                f"need >= 8 feasible samples to fit, got {int(usable.sum())}"
+            )
+        rng = np.random.default_rng(seed)
+        x_mean, x_scale = _standardize_fit(x)
+        xs_all = (x - x_mean) / x_scale
+
+        reg_index = np.flatnonzero(usable)
+        if reg_index.size > max_rows:
+            reg_index = rng.choice(reg_index, size=max_rows, replace=False)
+            reg_index.sort()
+        perm = rng.permutation(reg_index.size)
+        n_val = int(round(val_fraction * reg_index.size))
+        n_val = min(max(n_val, 0), reg_index.size - 8)
+        val_rows = reg_index[perm[:n_val]]
+        train_rows = reg_index[perm[n_val:]]
+
+        log_targets = np.log(targets[train_rows])
+        y_mean, y_scale = _standardize_fit(log_targets)
+        ys = (log_targets - y_mean) / y_scale
+        xs = xs_all[train_rows]
+
+        members: List = [_RidgeMember.fit(xs, ys)]
+        for index in range(max(1, ensemble)):
+            members.append(
+                _MLPMember.fit(xs, ys, hidden, epochs, lr, seed=seed * 1000 + index)
+            )
+
+        # feasibility head: logistic regression over all rows
+        feas_weights, feas_bias = _fit_logistic(xs_all, feasible.astype(np.float64))
+
+        model = cls(
+            members, x_mean, x_scale, y_mean, y_scale,
+            feas_weights, feas_bias, calibration=1.0, meta=meta,
+        )
+        model.meta.update(
+            n_train=int(train_rows.size),
+            n_val=int(val_rows.size),
+            n_total=int(x.shape[0]),
+            n_feasible=int(usable.sum()),
+            seed=int(seed),
+            hidden=int(hidden),
+            ensemble=int(ensemble),
+            epochs=int(epochs),
+        )
+        if val_rows.size >= 8:
+            mean, raw_std = model._predict_standardized(xs_all[val_rows])
+            pred_log = mean * y_scale + y_mean
+            errors = np.abs(pred_log - np.log(targets[val_rows]))
+            scaled_std = np.maximum(raw_std * y_scale, 1e-8)
+            ratio = errors / scaled_std
+            model.calibration = float(np.clip(np.median(ratio), 1e-2, 1e3))
+            model.meta["val_mae_log_latency"] = float(errors[:, 0].mean())
+            model.meta["val_mae_log_energy"] = float(errors[:, 1].mean())
+        return model
+
+    # ---------------------------------------------------------------- predict
+    def _check_width(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.x_mean.shape[0]:
+            raise EvaluationError(
+                f"feature width {x.shape[-1]} does not match model "
+                f"({self.x_mean.shape[0]})"
+            )
+        return x
+
+    def _predict_standardized(self, xs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        stack = np.stack([member.predict(xs) for member in self.members])
+        return stack.mean(axis=0), stack.std(axis=0)
+
+    def predict(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean and calibrated std of (log latency, log energy), shape (B, 2)."""
+        xs = (self._check_width(x) - self.x_mean) / self.x_scale
+        mean, raw_std = self._predict_standardized(np.atleast_2d(xs))
+        mean = mean * self.y_scale + self.y_mean
+        std = np.maximum(raw_std * self.y_scale * self.calibration, _STD_FLOOR)
+        return mean, std
+
+    def predict_objective(
+        self, x: np.ndarray, objective: str = "latency"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scalar log-space score (lower is better) and its std, shape (B,)."""
+        weights = np.asarray(_objective_weights(objective))
+        mean, std = self.predict(x)
+        return mean @ weights, np.sqrt((std * std) @ (weights * weights))
+
+    def feasible_proba(self, x: np.ndarray) -> np.ndarray:
+        xs = (self._check_width(x) - self.x_mean) / self.x_scale
+        logits = np.atleast_2d(xs) @ self.feas_weights + self.feas_bias
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -60.0, 60.0)))
+
+    def grad_objective(
+        self, x: np.ndarray, objective: str = "latency"
+    ) -> Tuple[float, np.ndarray]:
+        """Score and d(score)/d(features) for one raw feature vector (D,)."""
+        weights = np.asarray(_objective_weights(objective)) * self.y_scale
+        xs = (self._check_width(x) - self.x_mean) / self.x_scale
+        grads = [member.grad_input(xs, weights) for member in self.members]
+        grad_std = np.mean(grads, axis=0) / self.x_scale
+        score, _ = self.predict_objective(x.reshape(1, -1), objective)
+        return float(score[0]), grad_std
+
+    # ------------------------------------------------------------------- io
+    def to_dict(self) -> Dict:
+        return {
+            "format": "repro.learned.model",
+            "format_version": 1,
+            "feature_version": int(self.meta.get("feature_version", FEATURE_VERSION)),
+            "members": [member.to_dict() for member in self.members],
+            "x_mean": self.x_mean.tolist(),
+            "x_scale": self.x_scale.tolist(),
+            "y_mean": self.y_mean.tolist(),
+            "y_scale": self.y_scale.tolist(),
+            "feas_weights": self.feas_weights.tolist(),
+            "feas_bias": float(self.feas_bias),
+            "calibration": self.calibration,
+            "meta": self.meta,
+        }
+
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LearnedCostModel":
+        if data.get("format") != "repro.learned.model":
+            raise ConfigurationError("not a learned cost-model artifact")
+        if data.get("feature_version") != FEATURE_VERSION:
+            raise ConfigurationError(
+                f"model was trained against feature version "
+                f"{data.get('feature_version')}, this build uses {FEATURE_VERSION}"
+            )
+        members = [
+            _MEMBER_KINDS[member["kind"]].from_dict(member)
+            for member in data["members"]
+        ]
+        return cls(
+            members,
+            np.asarray(data["x_mean"], dtype=np.float64),
+            np.asarray(data["x_scale"], dtype=np.float64),
+            np.asarray(data["y_mean"], dtype=np.float64),
+            np.asarray(data["y_scale"], dtype=np.float64),
+            np.asarray(data["feas_weights"], dtype=np.float64),
+            float(data["feas_bias"]),
+            calibration=float(data.get("calibration", 1.0)),
+            meta=data.get("meta"),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "LearnedCostModel":
+        try:
+            data = json.loads(pathlib.Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ConfigurationError(f"cannot load model from {path}: {error}")
+        return cls.from_dict(data)
+
+
+def _objective_weights(objective: str) -> Tuple[float, float]:
+    try:
+        return OBJECTIVE_WEIGHTS[objective]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown objective {objective!r}; use one of "
+            f"{sorted(OBJECTIVE_WEIGHTS)}"
+        )
+
+
+def _fit_logistic(
+    xs: np.ndarray, labels: np.ndarray, epochs: int = 200, lr: float = 0.05,
+    l2: float = 1e-3,
+) -> Tuple[np.ndarray, float]:
+    """L2-regularized logistic regression via full-batch Adam."""
+    dim = xs.shape[1]
+    weights = np.zeros(dim)
+    bias = np.zeros(1)
+    step = _adam_steps([(dim,), (1,)])
+    count = xs.shape[0]
+    for _ in range(epochs):
+        logits = xs @ weights + bias[0]
+        probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60.0, 60.0)))
+        err = (probs - labels) / count
+        step(
+            [weights, bias],
+            [xs.T @ err + l2 * weights, np.asarray([err.sum()])],
+            lr,
+        )
+    return weights, float(bias[0])
+
+
+__all__ = ["LearnedCostModel", "OBJECTIVE_WEIGHTS"]

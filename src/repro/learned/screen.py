@@ -1,0 +1,349 @@
+"""Learned pre-screening in front of any PPA engine.
+
+:class:`ScreeningPPAEngine` wraps an analytical engine and intercepts
+its batch entry point: each ``evaluate_candidates`` batch is ranked by
+the learned model and only the predicted-best ``top-k`` candidates —
+plus the most uncertain of the rest (uncertainty escalation) — are
+forwarded to the wrapped engine.  Candidates the screen drops come back
+as infeasible results tagged ``infeasible_reason="screened"``, which the
+anytime search folds as non-improving, so:
+
+* **Every number that can reach an incumbent, a trial objective, or a
+  Pareto front is exact analytical PPA.**  The model only ever decides
+  *which* candidates get the analytical treatment, never what their
+  PPA is.
+* **Screening off is bit-identical to no wrapper at all**: with no model
+  (or ``enabled=False``) every call forwards verbatim to the inner
+  engine, whose caches, counters and RNG-visible behavior are untouched.
+
+Scalar paths (``evaluate_layer``, incumbent initialization via
+``evaluate_layers``, aggregation) always pass through — they carry
+incumbent state the search must know exactly.
+
+The wrapper is duck-typed rather than a ``PPAEngine`` subclass: it holds
+no network/cache state of its own and forwards every unknown attribute
+to the inner engine.  The attributes co-optimizers *assign* after
+construction (``charge_clock``, ``tracer``, ``sample_sink``) are
+explicit properties that forward the assignment inward, so e.g.
+``Unico`` disabling engine clock charging keeps working through the
+wrapper.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.costmodel.results import LayerPPA
+from repro.errors import EvaluationError, ReproError
+from repro.learned.features import featurize_batch
+from repro.learned.model import LearnedCostModel
+
+#: infeasible_reason tag on screened-out results; the query-accounting
+#: layer and tests key on the prefix.
+SCREENED_REASON = "screened"
+
+#: A screened-out candidate's placeholder result: infinite PPA, so it can
+#: never displace an analytically-evaluated incumbent or reach a front.
+_SCREENED_RESULT = LayerPPA(
+    latency_s=float("inf"),
+    energy_j=float("inf"),
+    feasible=False,
+    infeasible_reason=SCREENED_REASON,
+)
+
+
+class ScreeningPPAEngine:
+    """Rank batches with a learned model; evaluate only the promising tail.
+
+    Parameters
+    ----------
+    inner:
+        The analytical engine to wrap (any ``PPAEngine``-shaped object).
+    model:
+        A trained :class:`~repro.learned.model.LearnedCostModel`;
+        ``None`` disables screening (pure pass-through).
+    objective:
+        Ranking objective: ``latency``, ``energy`` or ``edp``.
+    topk / topk_fraction:
+        Absolute or fractional count of predicted-best candidates to
+        forward per batch (absolute wins when both are set).
+    escalate_fraction:
+        Extra fraction of the batch forwarded from the *non*-selected
+        remainder, picked by highest predictive uncertainty.
+    min_batch:
+        Batches smaller than this are forwarded whole — ranking overhead
+        is not worth it and tiny batches carry incumbent-critical state.
+    infeasible_penalty:
+        Log-space score penalty scaled by the predicted infeasibility
+        probability, pushing likely-infeasible candidates to the back.
+    audit_every:
+        Every Nth screened batch is fully evaluated instead (an audit):
+        the screen's choice is scored against analytical ground truth to
+        measure recall, at the price of that batch's savings.  0 = off.
+    screen_cost_s:
+        Simulated seconds charged per screened-out candidate (model
+        inference is orders of magnitude cheaper than an analytical
+        query, but not free); only charged while the inner engine owns
+        clock accounting.
+    """
+
+    #: marker for the query-accounting layer (core.evaluation)
+    is_screening = True
+
+    def __init__(
+        self,
+        inner,
+        model: Optional[LearnedCostModel] = None,
+        objective: str = "latency",
+        topk: Optional[int] = None,
+        topk_fraction: float = 0.25,
+        escalate_fraction: float = 0.125,
+        min_batch: int = 4,
+        infeasible_penalty: float = 20.0,
+        audit_every: int = 0,
+        screen_cost_s: float = 0.0,
+        enabled: bool = True,
+    ):
+        if topk is not None and topk < 1:
+            raise EvaluationError(f"topk must be >= 1, got {topk}")
+        if not 0.0 < topk_fraction <= 1.0:
+            raise EvaluationError(
+                f"topk_fraction must be in (0, 1], got {topk_fraction}"
+            )
+        self.inner = inner
+        self.learned_model = model
+        self.objective = objective
+        self.topk = topk
+        self.topk_fraction = topk_fraction
+        self.escalate_fraction = escalate_fraction
+        self.min_batch = min_batch
+        self.infeasible_penalty = infeasible_penalty
+        self.audit_every = audit_every
+        self.screen_cost_s = screen_cost_s
+        self.enabled = enabled
+        self._counter_lock = threading.Lock()
+        self._counts: Dict[str, int] = {
+            "batches_screened": 0,
+            "candidates_seen": 0,
+            "forwarded": 0,
+            "forwarded_feasible": 0,
+            "escalated": 0,
+            "skipped": 0,
+            "fallback_batches": 0,
+            "audit_batches": 0,
+            "audit_recall_hits": 0,
+        }
+
+    # ------------------------------------------------------------- delegation
+    def __getattr__(self, name):
+        # only reached for names not defined on the wrapper: everything
+        # else (network, clock, caches, scalar evaluation, aggregation,
+        # area, num_queries, metrics, ...) is the inner engine's.
+        return getattr(self.inner, name)
+
+    @property
+    def clock(self):
+        return self.inner.clock
+
+    @clock.setter
+    def clock(self, value) -> None:
+        # multi-workload wiring assigns engine.clock = shared_clock; the
+        # assignment must land on the inner engine, not shadow it here
+        self.inner.clock = value
+
+    @property
+    def charge_clock(self) -> bool:
+        return self.inner.charge_clock
+
+    @charge_clock.setter
+    def charge_clock(self, value: bool) -> None:
+        self.inner.charge_clock = value
+
+    @property
+    def tracer(self):
+        return self.inner.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self.inner.tracer = value
+
+    @property
+    def sample_sink(self):
+        return self.inner.sample_sink
+
+    @sample_sink.setter
+    def sample_sink(self, value) -> None:
+        self.inner.sample_sink = value
+
+    # ------------------------------------------------------------- accounting
+    def _count(self, **increments: int) -> None:
+        metrics = getattr(self.inner, "metrics", None)
+        with self._counter_lock:
+            for name, value in increments.items():
+                self._counts[name] += value
+        if metrics is not None:
+            for name, value in increments.items():
+                metrics.counter(f"screen_{name}_total").inc(value)
+
+    def screen_stats(self) -> Dict:
+        """Screening counters plus derived precision/recall/savings."""
+        with self._counter_lock:
+            stats = dict(self._counts)
+        stats["enabled"] = bool(self.screening_active)
+        stats["precision"] = (
+            stats["forwarded_feasible"] / stats["forwarded"]
+            if stats["forwarded"]
+            else 0.0
+        )
+        stats["audit_recall"] = (
+            stats["audit_recall_hits"] / stats["audit_batches"]
+            if stats["audit_batches"]
+            else None
+        )
+        stats["evals_saved"] = stats["skipped"]
+        return stats
+
+    def stats(self) -> Dict:
+        stats = self.inner.stats()
+        stats["screening"] = self.screen_stats()
+        return stats
+
+    @property
+    def screening_active(self) -> bool:
+        return self.enabled and self.learned_model is not None
+
+    # ------------------------------------------------------------- evaluation
+    def evaluate_candidates(
+        self, hw, layer_name: str, mappings: Sequence
+    ) -> List[LayerPPA]:
+        mappings = list(mappings)
+        batch = len(mappings)
+        if not self.screening_active or batch < max(self.min_batch, 2):
+            return self.inner.evaluate_candidates(hw, layer_name, mappings)
+        keep = self._plan(hw, layer_name, mappings)
+        if keep is None:
+            self._count(fallback_batches=1)
+            return self.inner.evaluate_candidates(hw, layer_name, mappings)
+        selected, escalated = keep
+        forwarded = sorted(set(selected) | set(escalated))
+        audit = False
+        if self.audit_every > 0:
+            with self._counter_lock:
+                audit = (
+                    self._counts["batches_screened"] % self.audit_every
+                    == self.audit_every - 1
+                )
+        if len(forwarded) >= batch:
+            # the screen kept everything; identical to a plain forward
+            self._count(
+                batches_screened=1,
+                candidates_seen=batch,
+                forwarded=batch,
+                escalated=len(escalated),
+            )
+            results = self.inner.evaluate_candidates(hw, layer_name, mappings)
+            self._count(
+                forwarded_feasible=sum(1 for r in results if r.feasible)
+            )
+            return results
+        tracer = self.inner.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "screen",
+                layer=layer_name,
+                batch=batch,
+                forwarded=len(forwarded),
+                audit=audit,
+            ):
+                return self._apply(hw, layer_name, mappings, forwarded,
+                                   escalated, audit)
+        return self._apply(hw, layer_name, mappings, forwarded, escalated, audit)
+
+    def _plan(self, hw, layer_name: str, mappings: List):
+        """Rank a batch; returns (selected, escalated) index lists or None."""
+        model = self.learned_model
+        try:
+            shape, _count = self.inner.layer_shapes[layer_name]
+            features = featurize_batch(hw, mappings, shape)
+            score, std = model.predict_objective(features, self.objective)
+            if self.infeasible_penalty:
+                proba = model.feasible_proba(features)
+                score = score + self.infeasible_penalty * (1.0 - proba)
+        except (AttributeError, TypeError, ValueError, KeyError, ReproError):
+            # foreign hardware/mapping types (or a stale model) cannot be
+            # featurized; fall back to honest full evaluation
+            return None
+        batch = len(mappings)
+        k = self.topk if self.topk is not None else int(
+            math.ceil(self.topk_fraction * batch)
+        )
+        k = max(1, min(k, batch))
+        order = np.argsort(score, kind="stable")
+        selected = [int(i) for i in order[:k]]
+        remainder = order[k:]
+        n_escalate = int(math.ceil(self.escalate_fraction * batch))
+        if n_escalate and remainder.size:
+            by_uncertainty = remainder[
+                np.argsort(-std[remainder], kind="stable")[:n_escalate]
+            ]
+            escalated = [int(i) for i in by_uncertainty]
+        else:
+            escalated = []
+        return selected, escalated
+
+    def _apply(
+        self,
+        hw,
+        layer_name: str,
+        mappings: List,
+        forwarded: List[int],
+        escalated: List[int],
+        audit: bool,
+    ) -> List[LayerPPA]:
+        batch = len(mappings)
+        if audit:
+            # ground-truth pass: evaluate everything, score the screen's
+            # choice (would the analytical best have been forwarded?)
+            results = self.inner.evaluate_candidates(hw, layer_name, mappings)
+            best, best_value = None, float("inf")
+            for index, result in enumerate(results):
+                if result.feasible and result.latency_s < best_value:
+                    best, best_value = index, result.latency_s
+            hit = best is None or best in forwarded
+            self._count(
+                batches_screened=1,
+                candidates_seen=batch,
+                forwarded=batch,
+                escalated=len(escalated),
+                audit_batches=1,
+                audit_recall_hits=1 if hit else 0,
+                forwarded_feasible=sum(1 for r in results if r.feasible),
+            )
+            return results
+        kept = self.inner.evaluate_candidates(
+            hw, layer_name, [mappings[i] for i in forwarded]
+        )
+        skipped = batch - len(forwarded)
+        if self.screen_cost_s and self.inner.charge_clock and skipped:
+            self.inner.clock.advance(
+                self.screen_cost_s * skipped, label="screen"
+            )
+        self._count(
+            batches_screened=1,
+            candidates_seen=batch,
+            forwarded=len(forwarded),
+            escalated=len(escalated),
+            skipped=skipped,
+            forwarded_feasible=sum(1 for r in kept if r.feasible),
+        )
+        results: List[LayerPPA] = [_SCREENED_RESULT] * batch
+        for index, result in zip(forwarded, kept):
+            results[index] = result
+        return results
+
+
+__all__ = ["SCREENED_REASON", "ScreeningPPAEngine"]

@@ -30,7 +30,12 @@ from repro.tracking.resume import (
     verify_run,
 )
 from repro.tracking.store import RUN_STATUSES, RunHandle, RunStore
-from repro.tracking.tracker import JournalTracker, NullTracker, Tracker
+from repro.tracking.tracker import (
+    JournalSampleSink,
+    JournalTracker,
+    NullTracker,
+    Tracker,
+)
 
 __all__ = [
     "EVENT_TYPES",
@@ -38,6 +43,7 @@ __all__ = [
     "RUN_STATUSES",
     "EventJournal",
     "JournalScan",
+    "JournalSampleSink",
     "JournalTracker",
     "NullTracker",
     "RunHandle",

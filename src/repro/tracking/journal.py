@@ -59,6 +59,13 @@ EVENT_TYPES = (
     "iteration_end",
     "run_end",
     "span",
+    # additive (journal version unchanged): per-candidate engine samples
+    # for learned-model training, and the learned-model provenance stamp
+    # of a screened run.  Replay/resume of journals without them — and of
+    # journals with them, by older readers — is unaffected because all
+    # consumers filter by type.
+    "engine_sample",
+    "learned_model",
 )
 
 

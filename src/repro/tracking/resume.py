@@ -117,6 +117,38 @@ def verify_run(run: RunHandle) -> Dict:
     }
 
 
+def _restore_screen(optimizer, run: RunHandle, manifest: Dict) -> None:
+    """Re-wrap the optimizer's engine if the run was screened.
+
+    A screened run's manifest carries the model path; without re-wrapping,
+    the resumed half would consume analytical evaluations the original run
+    would have screened away, silently changing the cost accounting.  A
+    recorded model that no longer exists on disk is a hard error —
+    resuming unscreened would not be the same experiment.
+    """
+    screen = manifest.get("screen")
+    if not screen:
+        return
+    path = screen.get("model_path")
+    if not path:
+        raise TrackingError(
+            f"run {run.run_id} was screened by an in-memory model (no "
+            "model_path recorded); it cannot be resumed faithfully"
+        )
+    if not pathlib.Path(path).exists():
+        raise TrackingError(
+            f"run {run.run_id} was screened by {path}, which no longer "
+            "exists; restore the model file before resuming"
+        )
+    from repro.learned import LearnedCostModel, ScreeningPPAEngine
+
+    optimizer.engine = ScreeningPPAEngine(
+        optimizer.engine,
+        model=LearnedCostModel.load(path),
+        topk=screen.get("topk"),
+    )
+
+
 def resume_run(
     run: Union[RunHandle, str, pathlib.Path],
     store: Optional[RunStore] = None,
@@ -160,7 +192,9 @@ def resume_run(
         seed=int(manifest["seed"]),
         time_budget_s=manifest.get("time_budget_s"),
         eval_batch_size=int(manifest.get("eval_batch_size", 1)),
+        tool=manifest.get("tool"),
     )
+    _restore_screen(optimizer, run, manifest)
     load_checkpoint(optimizer, checkpoint)
     if max_iterations is not None:
         optimizer.config.max_iterations = max_iterations
@@ -181,6 +215,10 @@ def resume_run(
         run, checkpoint_every=checkpoint_every, fsync=fsync, resume=True
     )
     optimizer.tracker = tracker
+    if manifest.get("record_samples"):
+        from repro.tracking.tracker import JournalSampleSink
+
+        optimizer.engine.sample_sink = JournalSampleSink(tracker.journal)
     try:
         result = optimizer.optimize()
     except BaseException as error:

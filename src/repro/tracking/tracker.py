@@ -107,6 +107,47 @@ class NullTracker(Tracker):
     enabled = False
 
 
+class JournalSampleSink:
+    """Engine sample sink that journals per-candidate ``engine_sample`` events.
+
+    Installed on a ``PPAEngine`` (``engine.sample_sink = sink``) it records
+    one event per *computed* cost-model query — the training data the
+    :mod:`repro.learned` subsystem distills.  The payload is self-contained
+    (hardware variables, mapping key, layer shape, exact PPA), so datasets
+    can be extracted from a journal without the run's design space or
+    workload registry.  Thread safety comes from the journal's atomic line
+    appends.
+    """
+
+    #: payload schema, independent of JOURNAL_VERSION so the sample shape
+    #: can grow without a journal format bump
+    SAMPLE_SCHEMA = 1
+
+    def __init__(self, journal: EventJournal):
+        self.journal = journal
+
+    @staticmethod
+    def _finite(value: float) -> Optional[float]:
+        value = float(value)
+        return value if np.isfinite(value) else None
+
+    def __call__(self, hw, layer_name: str, mapping, shape, result) -> None:
+        self.journal.append(
+            "engine_sample",
+            {
+                "sample_schema": self.SAMPLE_SCHEMA,
+                "layer": str(layer_name),
+                "hw": {str(k): to_jsonable(v) for k, v in vars(hw).items()},
+                "mapping": to_jsonable(mapping.key()),
+                "shape": [shape.m, shape.n, shape.k, shape.reuse_penalty],
+                "latency_s": self._finite(result.latency_s),
+                "energy_j": self._finite(result.energy_j),
+                "feasible": bool(result.feasible),
+                "reason": str(result.infeasible_reason),
+            },
+        )
+
+
 class JournalTracker(Tracker):
     """Persist a run's trajectory into its run directory.
 
@@ -362,4 +403,4 @@ class JournalTracker(Tracker):
         self.journal.close()
 
 
-__all__ = ["JournalTracker", "NullTracker", "Tracker"]
+__all__ = ["JournalSampleSink", "JournalTracker", "NullTracker", "Tracker"]
