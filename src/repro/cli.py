@@ -9,6 +9,9 @@ Commands
 * ``fig`` — regenerate one of the paper's figures (7-11) as JSON.
 * ``serve`` — expose a PPA estimation engine as the Section 3.5 REST
   service (for master-slave deployments).
+* ``fleet`` — run N sharded service replicas under one supervisor
+  (``fleet serve``), or check the health of running replicas
+  (``fleet status``).
 * ``stats`` — query a running PPA service's ``GET /metrics`` endpoint and
   summarize query counts, cache behaviour and request latency.
 * ``learned`` — train/evaluate a journal-distilled learned cost model
@@ -457,6 +460,61 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_fleet_serve(args) -> int:
+    from repro.fleet.server import FleetSupervisor, ReplicaSpec
+
+    capacity = args.cache_capacity if args.cache_capacity > 0 else None
+    spec = ReplicaSpec(
+        network=args.network,
+        engine=args.engine,
+        cache_capacity=capacity,
+        host=args.host,
+        ports=tuple(args.ports),
+    )
+    fleet = FleetSupervisor(spec, replicas=args.replicas).start()
+    print(
+        f"PPA fleet ({args.engine}, workload {args.network}): "
+        f"{args.replicas} replicas"
+    )
+    for index, url in enumerate(fleet.urls):
+        print(f"  replica {index}: {url}")
+    print(
+        "point a sharded client at every URL; "
+        "Ctrl-C drains in-flight requests and stops the fleet."
+    )
+    try:
+        import time
+
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        fleet.stop()
+    return 0
+
+
+def _cmd_fleet_status(args) -> int:
+    from urllib.request import urlopen
+
+    failures = 0
+    for url in args.urls:
+        base = url.rstrip("/")
+        try:
+            with urlopen(f"{base}/health", timeout=args.timeout) as response:
+                health = json.loads(response.read())
+        except OSError as error:
+            print(f"{base}  DOWN  {type(error).__name__}: {error}")
+            failures += 1
+            continue
+        status = health.get("status", "?")
+        if status != "ok":
+            failures += 1
+        print(
+            f"{base}  {status}  workload={health.get('workload', '?')} "
+            f"queries={health.get('queries', '?')}"
+        )
+    return 1 if failures else 0
+
+
 def _cmd_stats(args) -> int:
     from urllib.request import urlopen
 
@@ -771,6 +829,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="open a span per request and return it to tracing clients",
     )
     serve_parser.set_defaults(fn=_cmd_serve)
+
+    fleet_parser = sub.add_parser(
+        "fleet", help="run or inspect a fleet of sharded PPA-service replicas"
+    )
+    fleet_sub = fleet_parser.add_subparsers(dest="fleet_command", required=True)
+    fleet_serve = fleet_sub.add_parser(
+        "serve", help="start N replica processes under one supervisor"
+    )
+    fleet_serve.add_argument("network")
+    fleet_serve.add_argument("--replicas", type=int, default=2)
+    fleet_serve.add_argument("--engine", default="maestro",
+                             choices=("maestro", "ascend"))
+    fleet_serve.add_argument("--host", default="127.0.0.1")
+    fleet_serve.add_argument(
+        "--ports", type=int, nargs="*", default=[],
+        help="fixed ports per replica (default: OS-assigned)",
+    )
+    fleet_serve.add_argument(
+        "--cache-capacity", type=int, default=100_000,
+        help="per-replica LRU bound on the engine cache (0 = unbounded)",
+    )
+    fleet_serve.set_defaults(fn=_cmd_fleet_serve)
+    fleet_status = fleet_sub.add_parser(
+        "status", help="health-check running replica URLs"
+    )
+    fleet_status.add_argument("urls", nargs="+")
+    fleet_status.add_argument("--timeout", type=float, default=5.0)
+    fleet_status.set_defaults(fn=_cmd_fleet_status)
 
     stats_parser = sub.add_parser(
         "stats", help="summarize a running PPA service's /metrics"

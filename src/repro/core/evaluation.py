@@ -81,6 +81,16 @@ class _QueryCountingEngine:
     def __getattr__(self, name):
         return getattr(self._engine, name)
 
+    # Without these, pickle's *instance* lookup of __getstate__ (CPython
+    # 3.10) would fall through __getattr__ to the wrapped engine's method
+    # and serialize the engine's state as the view's — silently corrupting
+    # process-backend round dispatch.
+    def __getstate__(self):
+        return self.__dict__
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
     def evaluate_layer(self, hw, mapping, layer_name):
         self.local_queries += 1
         return self._engine.evaluate_layer(hw, mapping, layer_name)
@@ -133,6 +143,19 @@ class SWSearchTrial:
         )
         #: engine queries consumed (initialization included)
         self.queries_spent = self._view.local_queries
+
+    def reattach_engine(self, engine: PPAEngine) -> None:
+        """Re-point a round-tripped trial at the shared engine.
+
+        A trial advanced in a worker process comes back holding pickled
+        *copies* of the engine; later rounds (and anything the optimizer
+        does with the trial afterwards) must hit the real shared engine —
+        its cache, clock, and accounting.  The counting view is the same
+        unpickled object the search tool holds, so re-pointing it switches
+        the search too.
+        """
+        self.engine = engine
+        self._view._engine = engine
 
     def run(self, additional_budget: int) -> "SWSearchTrial":
         queries_before = self._view.local_queries

@@ -32,6 +32,7 @@ from repro.core.highfidelity import (
     ChampionSelector,
     HighFidelitySelector,
 )
+from repro.core.runner import BACKENDS as RUNNER_BACKENDS
 from repro.core.runner import JobRunner
 from repro.errors import ConfigurationError
 from repro.optim.mobo import MOBOSampler
@@ -52,6 +53,21 @@ def _advance_trial(trial, additional: int) -> int:
     if additional > 0:
         trial.run(additional)
     return trial.queries_spent - before
+
+
+def _advance_trial_roundtrip(trial, additional: int):
+    """Process-backend variant of :func:`_advance_trial`.
+
+    The child advances a *pickled copy* of the trial, so every mutation
+    the round produced must travel back explicitly: the advanced trial
+    itself (its search state is the round's result), the trial-local
+    query delta (simulated-clock charging), and the engine-side query
+    delta — queries the child's engine copy served that the parent's
+    shared engine never saw and must absorb into its accounting.
+    """
+    engine_queries_before = trial.engine.num_queries
+    delta = _advance_trial(trial, additional)
+    return trial, delta, trial.engine.num_queries - engine_queries_before
 
 
 @dataclass
@@ -75,9 +91,12 @@ class UnicoConfig:
     #: real-compute dispatch of each MSH round's trials.  ``serial`` is
     #: exact and default; ``thread`` overlaps remote-engine (Fig. 6b)
     #: round trips and produces identical results (per-trial query
-    #: accounting is race-free and the engines are deterministic).  The
-    #: ``process`` backend is rejected here: trials mutate shared search
-    #: state that would be lost in a child process.
+    #: accounting is race-free and the engines are deterministic).
+    #: ``process`` ships each trial to a worker and back as an explicit
+    #: round-trip value (the paper's multi-processing dispatch): the
+    #: returned trial replaces the local one and the queries its engine
+    #: copy served are absorbed into the shared engine, so fronts and
+    #: clock accounting reproduce the serial backend exactly.
     runner_backend: str = "serial"
     mobo_overhead_s: float = 5.0
     time_budget_s: Optional[float] = None
@@ -110,11 +129,10 @@ class UnicoConfig:
             raise ConfigurationError(
                 f"eval_batch_size must be >= 1, got {self.eval_batch_size}"
             )
-        if self.runner_backend not in ("serial", "thread"):
+        if self.runner_backend not in RUNNER_BACKENDS:
             raise ConfigurationError(
-                f"runner_backend must be 'serial' or 'thread' (got "
-                f"{self.runner_backend!r}); trials share in-process search "
-                f"state, so process dispatch would drop their results"
+                f"runner_backend must be one of {RUNNER_BACKENDS}, got "
+                f"{self.runner_backend!r}"
             )
 
 
@@ -195,6 +213,33 @@ class Unico(CoOptimizer):
             [self.normalizer.transform(y) for y in self.train_objectives_raw]
         )
 
+    def _dispatch_round(self, trials: List, active: List[int], round_args) -> List[int]:
+        """Run one MSH round's trials through the configured backend.
+
+        Serial/thread backends mutate the trials in place.  The process
+        backend gets explicit round-trip values instead: each returned
+        trial replaces the local one and is re-pointed at the shared
+        engine, whose accounting absorbs the queries the child's engine
+        copy served.  Replacement is identity-checked because the runner
+        degrades to in-place execution (serial shortcut for one-trial
+        rounds, thread fallback for unpicklable jobs) — absorbing those
+        deltas again would double-count.
+        """
+        if self.runner.backend != "process":
+            return self.runner.starmap(_advance_trial, round_args)
+        outcomes = self.runner.starmap(_advance_trial_roundtrip, round_args)
+        deltas: List[int] = []
+        external_queries = 0
+        for trial_id, (returned, delta, engine_delta) in zip(active, outcomes):
+            if returned is not trials[trial_id]:
+                returned.reattach_engine(self.engine)
+                trials[trial_id] = returned
+                external_queries += engine_delta
+            deltas.append(delta)
+        if external_queries:
+            self.engine.absorb_external_queries(external_queries)
+        return deltas
+
     def _run_msh(self, trials: List) -> None:
         """Modified successive halving with parallel clock accounting.
 
@@ -229,7 +274,7 @@ class Unico(CoOptimizer):
                 ]
                 spent[active] = np.maximum(spent[active], plan.cumulative_budget)
                 deltas = np.asarray(
-                    self.runner.starmap(_advance_trial, round_args),
+                    self._dispatch_round(trials, active, round_args),
                     dtype=np.int64,
                 )
                 total_queries = np.array(

@@ -122,6 +122,47 @@ class PPAEngine(ABC):
         #: sink already saw.
         self.sample_sink = None
 
+    # -- pickling ---------------------------------------------------------------
+    def __getstate__(self) -> Dict:
+        """Process-backend support: engine copies travel to worker processes.
+
+        Live observers stay behind: the lock is recreated on unpickle, the
+        tracer resets to the null tracer and the sample sink to ``None``
+        (both may hold open journal file handles), and the LRU cache ships
+        *empty* — a child recomputes what it needs (engines are
+        deterministic, so every value is bit-identical either way) instead
+        of paying O(cache) pickling for every dispatched trial.  The
+        shared cache lives server-side in a PPA-service fleet, which is
+        the deployment that pairs with process-parallel rounds.
+        """
+        state = self.__dict__.copy()
+        del state["_lock"]
+        state["_cache"] = OrderedDict()
+        state["tracer"] = None
+        state["sample_sink"] = None
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+        if self.tracer is None:
+            self.tracer = NULL_TRACER
+
+    def absorb_external_queries(self, count: int) -> None:
+        """Fold query counts earned by a process-backend round back in.
+
+        Worker processes run trials against pickled engine *copies*; their
+        per-trial deltas come back with the trial results and land here,
+        so ``num_queries`` (and the matching counter) equals the serial
+        backend's count exactly.  Cache statistics are intentionally not
+        merged — the children's caches are their own.
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            self.num_queries += count
+        self.metrics.counter("engine_queries_total").inc(count)
+
     # -- subclass contract ----------------------------------------------------
     @abstractmethod
     def _compute_layer(

@@ -15,12 +15,22 @@ inputs to estimate performance, power and area."
 
 Fault tolerance: every network-level failure (connection refused, socket
 timeout, truncated/malformed responses, 5xx replies) surfaces as
-:class:`~repro.errors.EvaluationError`, so the client composes with
+:class:`~repro.errors.TransportError` (an :class:`~repro.errors.EvaluationError`),
+so the client composes with
 :class:`~repro.costmodel.reliability.RetryingEngine`.  The client
 additionally retries transient transport failures itself with exponential
 backoff + jitter, and a small circuit breaker fails fast (for
 ``breaker_cooldown_s`` of real time) once the service looks down, instead
 of burning a timeout per query.
+
+Transport: requests travel over a keep-alive
+:class:`~repro.fleet.pool.ConnectionPool` (the base URL is parsed once, at
+construction), so chunked batch evaluations reuse warm sockets instead of
+opening a TCP connection per request.  The server supports graceful
+shutdown: :meth:`PPAServiceServer.begin_drain` (or the SIGTERM handler
+installed by :meth:`PPAServiceServer.install_signal_handlers`) finishes
+in-flight requests and answers new ones with a fast 503 instead of a hung
+socket, so replica restarts don't read as breaker-tripping outages.
 
 Payloads carry plain dicts of the hardware/mapping dataclass fields; the
 server reconstructs typed objects via the registered codecs.  Tuple-typed
@@ -33,6 +43,7 @@ from __future__ import annotations
 
 import json
 import random
+import signal
 import socket
 import threading
 import time
@@ -40,14 +51,15 @@ import typing
 from http.client import HTTPException
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
-from urllib.error import HTTPError, URLError
+from urllib.error import URLError
 from urllib.parse import parse_qs, urlsplit
-from urllib.request import Request, urlopen
 
 from repro.camodel.mapping import AscendMapping
 from repro.costmodel.engine import PPAEngine
 from repro.costmodel.results import LayerPPA, NetworkPPA
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, TransportError
+from repro.fleet.breaker import BreakerOpenError, CircuitBreaker
+from repro.fleet.pool import ConnectionPool
 from repro.hw.ascend import AscendHWConfig
 from repro.hw.spatial import SpatialHWConfig
 from repro.mapping.gemm_mapping import GemmMapping
@@ -175,6 +187,11 @@ class PPAServiceServer:
         #: ``X-Repro-Span`` response header, letting tracing clients stitch
         #: it into their own trace.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: graceful-shutdown state: once draining, new requests get a fast
+        #: 503 while in-flight ones run to completion (see :meth:`stop`)
+        self._draining = False
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
         handler = self._make_handler()
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None
@@ -192,10 +209,39 @@ class PPAServiceServer:
         engine = self.engine
         metrics = self.metrics
         tracer = self.tracer
+        server = self
 
         class Handler(BaseHTTPRequestHandler):
+            # HTTP/1.1 keeps connections alive between exchanges, so the
+            # pooled client actually reuses sockets; every reply carries
+            # an explicit Content-Length, which 1.1 keep-alive requires.
+            protocol_version = "HTTP/1.1"
+
             def log_message(self, fmt, *args):  # silence request logging
                 pass
+
+            def _begin_request(self) -> bool:
+                """Admit the request, or False once the server is draining."""
+                with server._inflight_cv:
+                    if server._draining:
+                        return False
+                    server._inflight += 1
+                    return True
+
+            def _end_request(self) -> None:
+                with server._inflight_cv:
+                    server._inflight -= 1
+                    server._inflight_cv.notify_all()
+
+            def _reject_draining(self) -> None:
+                # drain the request body first so the keep-alive socket
+                # stays parseable for the client's next exchange
+                length = int(self.headers.get("Content-Length", 0))
+                if length:
+                    self.rfile.read(length)
+                self._span = None
+                metrics.counter("service_drain_rejections_total").inc()
+                self._reply(503, {"error": "service draining"})
 
             def _finish_span(self, status: int) -> Optional[str]:
                 """Close the request span, returning its wire JSON."""
@@ -233,6 +279,15 @@ class PPAServiceServer:
                 metrics.counter(f"service_requests_total[{self.path}]").inc()
 
             def do_GET(self):
+                if not self._begin_request():
+                    self._reject_draining()
+                    return
+                try:
+                    self._do_get()
+                finally:
+                    self._end_request()
+
+            def _do_get(self):
                 parsed = urlsplit(self.path)
                 if parsed.path == "/health":
                     self._reply(
@@ -306,6 +361,15 @@ class PPAServiceServer:
                 self._reply(200, {"results": entries})
 
             def do_POST(self):
+                if not self._begin_request():
+                    self._reject_draining()
+                    return
+                try:
+                    self._do_post()
+                finally:
+                    self._end_request()
+
+            def _do_post(self):
                 start = time.perf_counter()
                 self._span = None
                 if tracer.enabled:
@@ -378,12 +442,68 @@ class PPAServiceServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    # -- graceful shutdown ------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def inflight_requests(self) -> int:
+        with self._inflight_cv:
+            return self._inflight
+
+    def begin_drain(self) -> None:
+        """Stop admitting requests; in-flight ones run to completion.
+
+        New requests get an immediate ``503 {"error": "service draining"}``
+        — a fast, explicit signal clients route around (the sharded client
+        re-routes without charging its breaker), instead of the hung
+        socket a plain ``shutdown()`` would leave them holding.
+        """
+        with self._inflight_cv:
+            self._draining = True
+
+    def drain(self, timeout_s: float = 5.0) -> bool:
+        """Wait for in-flight requests to finish; True when fully drained."""
+        with self._inflight_cv:
+            return self._inflight_cv.wait_for(
+                lambda: self._inflight == 0, timeout=timeout_s
+            )
+
+    def stop(self, drain_timeout_s: float = 5.0) -> None:
+        """Drain in-flight requests (bounded), then shut the listener down."""
+        self.begin_drain()
+        self.drain(timeout_s=drain_timeout_s)
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+
+    def install_signal_handlers(
+        self,
+        drain_timeout_s: float = 5.0,
+        on_stopped: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """SIGTERM/SIGINT → graceful drain + shutdown (replica processes).
+
+        Must run on the main thread (a CPython ``signal`` requirement).
+        The handler only flips the drain flag and hands the blocking stop
+        to a helper thread, as signal handlers must not block.
+        """
+
+        def _handle(signum, frame):  # noqa: ARG001 - signal handler signature
+            self.begin_drain()
+
+            def _shutdown() -> None:
+                self.stop(drain_timeout_s=drain_timeout_s)
+                if on_stopped is not None:
+                    on_stopped()
+
+            threading.Thread(target=_shutdown, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _handle)
+        signal.signal(signal.SIGINT, _handle)
 
     def __enter__(self) -> "PPAServiceServer":
         return self.start()
@@ -444,6 +564,7 @@ class RemotePPAEngine(PPAEngine):
         breaker_threshold: int = 5,
         breaker_cooldown_s: float = 30.0,
         batch_size: int = 16,
+        pool_max_idle: int = 8,
         **kwargs,
     ):
         super().__init__(network, **kwargs)
@@ -470,47 +591,49 @@ class RemotePPAEngine(PPAEngine):
         self._jitter_rng = random.Random(jitter_seed)
         self.num_network_retries = 0
         self.num_circuit_rejections = 0
-        self._breaker_failures = 0
-        self._breaker_open_until = 0.0  # time.monotonic() deadline
+        #: the URL is parsed exactly once, inside the pool; requests join
+        #: paths onto the parsed origin instead of re-parsing per call
+        self._pool = ConnectionPool(
+            self.base_url, timeout_s=timeout_s, max_idle=pool_max_idle
+        )
+        self._breaker = CircuitBreaker(
+            self.base_url, breaker_threshold, breaker_cooldown_s
+        )
+        #: transport-only lock (jitter RNG).  Backoff and breaker state
+        #: deliberately stay off the engine cache lock ``self._lock``: one
+        #: chunk backing off must not serialize unrelated concurrent
+        #: requests or cache lookups.
+        self._transport_lock = threading.Lock()
 
     # -- transport --------------------------------------------------------------
     def _backoff_delay(self, attempt: int) -> float:
         base = min(self.backoff_base_s * (2 ** (attempt - 1)), self.backoff_max_s)
-        with self._lock:
+        with self._transport_lock:
             jitter = self._jitter_rng.random()
         return base * (1.0 + self.jitter_fraction * jitter)
 
     def _breaker_check(self) -> None:
-        with self._lock:
-            if self._breaker_failures < self.breaker_threshold:
-                return
-            remaining = self._breaker_open_until - time.monotonic()
-            if remaining > 0:
-                self.num_circuit_rejections += 1
-                self.metrics.counter("remote_circuit_rejections_total").inc()
-                raise EvaluationError(
-                    f"circuit breaker open ({remaining:.2f}s left) after "
-                    f"{self._breaker_failures} consecutive failures to "
-                    f"{self.base_url}"
-                )
-            # half-open: let one probe through; a failure re-opens at once
-            self._breaker_failures = self.breaker_threshold - 1
+        self._breaker_gate(self._breaker)
 
     def _breaker_record(self, success: bool) -> None:
-        with self._lock:
-            if success:
-                self._breaker_failures = 0
-                return
-            self._breaker_failures += 1
-            if self._breaker_failures >= self.breaker_threshold:
-                self._breaker_open_until = (
-                    time.monotonic() + self.breaker_cooldown_s
-                )
-                self.metrics.counter("remote_circuit_opened_total").inc()
+        self._breaker_report(self._breaker, success)
 
-    def _http_error_detail(self, error: HTTPError) -> str:
+    def _breaker_gate(self, breaker: CircuitBreaker) -> None:
+        """Fail fast while ``breaker`` is open, with client-side counting."""
         try:
-            payload = json.loads(error.read())
+            breaker.check()
+        except BreakerOpenError:
+            self.num_circuit_rejections += 1
+            self.metrics.counter("remote_circuit_rejections_total").inc()
+            raise
+
+    def _breaker_report(self, breaker: CircuitBreaker, success: bool) -> None:
+        if breaker.record(success):
+            self.metrics.counter("remote_circuit_opened_total").inc()
+
+    def _error_detail(self, body: bytes, fallback: str) -> str:
+        try:
+            payload = json.loads(body)
             return str(payload.get("error", payload))
         except Exception as parse_error:
             # a non-JSON error body (proxy page, truncated response) is
@@ -520,7 +643,7 @@ class RemotePPAEngine(PPAEngine):
             self.metrics.counter(
                 f"remote_error_body_{type(parse_error).__name__}_total"
             ).inc()
-            return str(error)
+            return fallback
 
     def _request_json(self, path: str, payload: Optional[Dict] = None) -> Dict:
         """One logical request: breaker gate, transport retries, JSON reply.
@@ -539,61 +662,85 @@ class RemotePPAEngine(PPAEngine):
         self, path: str, payload: Optional[Dict], span
     ) -> Dict:
         """Untraced transport loop behind :meth:`_request_json`."""
-        self._breaker_check()
+        return self._transport_request(
+            self._pool, self._breaker, path, payload, span
+        )
+
+    def _transport_request(
+        self,
+        pool: ConnectionPool,
+        breaker: CircuitBreaker,
+        path: str,
+        payload: Optional[Dict],
+        span,
+        shard: Optional[str] = None,
+    ) -> Dict:
+        """Breaker gate → pooled keep-alive exchange → retry policy → JSON.
+
+        Shared by the single-URL path and the sharded client (which passes
+        each shard's own pool/breaker plus its name for metric labels).
+        """
+        self._breaker_gate(breaker)
         data = (
             json.dumps(payload).encode("utf-8") if payload is not None else None
         )
+        method = "POST" if data is not None else "GET"
         self.metrics.counter("remote_requests_total").inc()
+        if shard is not None:
+            self.metrics.counter(f"fleet_requests_total[shard={shard}]").inc()
         headers = {"Content-Type": "application/json"}
         if span is not None:
             headers["X-Repro-Trace"] = format_trace_context(self.tracer, span)
-        last_error: Optional[EvaluationError] = None
+        last_error: Optional[TransportError] = None
         for attempt in range(self.max_network_retries + 1):
             if attempt:
                 self.num_network_retries += 1
                 self.metrics.counter("remote_network_retries_total").inc()
+                # no lock is held across this sleep: one chunk backing off
+                # must not stall concurrent requests on other threads
                 time.sleep(self._backoff_delay(attempt))
             try:
-                request = Request(
-                    f"{self.base_url}{path}",
-                    data=data,
-                    headers=dict(headers),
-                    method="POST" if data is not None else "GET",
-                )
                 start = time.perf_counter()
-                with urlopen(request, timeout=self.timeout_s) as response:
-                    body = response.read()
-                    server_span = response.headers.get("X-Repro-Span")
+                response = pool.request(method, path, body=data, headers=headers)
                 elapsed = time.perf_counter() - start
                 self.metrics.histogram("remote_request_seconds").observe(
                     elapsed
                 )
-                reply = json.loads(body)
-                self._breaker_record(success=True)
-                if span is not None and server_span:
+                if response.status >= 500:
+                    detail = self._error_detail(
+                        response.body, f"HTTP {response.status}"
+                    )
+                    last_error = TransportError(
+                        f"service error {response.status} on {path}: {detail}"
+                    )
+                    continue
+                if response.status >= 400:
+                    # semantic rejection: the service is up and answered
+                    self._breaker_report(breaker, success=True)
+                    detail = self._error_detail(
+                        response.body, f"HTTP {response.status}"
+                    )
+                    raise EvaluationError(
+                        f"service rejected {path} ({response.status}): {detail}"
+                    )
+                reply = json.loads(response.body)
+            except _TRANSIENT_ERRORS as error:
+                last_error = TransportError(
+                    f"network failure on {path}: {type(error).__name__}: {error}"
+                )
+                continue
+            self._breaker_report(breaker, success=True)
+            if span is not None:
+                server_span = response.header("X-Repro-Span")
+                if server_span:
                     try:
                         self.tracer.record_remote(
                             json.loads(server_span), span, elapsed
                         )
                     except (json.JSONDecodeError, TypeError, ValueError):
                         pass  # a garbled span header must not fail the query
-                return reply
-            except HTTPError as error:
-                detail = self._http_error_detail(error)
-                if error.code < 500:
-                    # semantic rejection: the service is up and answered
-                    self._breaker_record(success=True)
-                    raise EvaluationError(
-                        f"service rejected {path} ({error.code}): {detail}"
-                    ) from error
-                last_error = EvaluationError(
-                    f"service error {error.code} on {path}: {detail}"
-                )
-            except _TRANSIENT_ERRORS as error:
-                last_error = EvaluationError(
-                    f"network failure on {path}: {type(error).__name__}: {error}"
-                )
-        self._breaker_record(success=False)
+            return reply
+        self._breaker_report(breaker, success=False)
         assert last_error is not None
         raise last_error
 
@@ -712,6 +859,17 @@ class RemotePPAEngine(PPAEngine):
                 "base_url": self.base_url,
                 "num_network_retries": self.num_network_retries,
                 "num_circuit_rejections": self.num_circuit_rejections,
+                "pool": self._pool.stats(),
             }
         )
         return merged
+
+    # -- pickling (process-backend rounds ship engine copies) -------------------
+    def __getstate__(self) -> Dict:
+        state = super().__getstate__()
+        del state["_transport_lock"]
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        super().__setstate__(state)
+        self._transport_lock = threading.Lock()

@@ -36,6 +36,16 @@ class EvaluationError(ReproError):
     """A PPA engine failed to evaluate a (hw, mapping, workload) triple."""
 
 
+class TransportError(EvaluationError):
+    """A remote PPA request failed at the transport level.
+
+    Network failures, 5xx replies and open circuit breakers are
+    *retryable* (and, under the sharded client, *failover-able* to
+    another replica) — unlike a 4xx semantic rejection, which stays a
+    plain :class:`EvaluationError` because every replica would reject the
+    same query."""
+
+
 class SearchBudgetError(ReproError):
     """A search was invoked with a non-positive or inconsistent budget."""
 

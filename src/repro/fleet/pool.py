@@ -1,0 +1,189 @@
+"""Keep-alive HTTP connection pool (stdlib ``http.client`` only).
+
+The pre-fleet :class:`~repro.costmodel.service.RemotePPAEngine` opened a
+fresh TCP connection per request via ``urllib.request.urlopen``; at the
+chunk sizes the batched evaluate paths ship, connection setup was a
+measurable slice of every round trip.  :class:`ConnectionPool` holds
+persistent HTTP/1.1 keep-alive connections to one origin and hands them
+out to concurrent callers, so the sharded client's in-flight fan-out
+reuses warm sockets instead of paying a handshake per chunk.
+
+Failure handling is deliberately conservative:
+
+* a connection that errors mid-exchange is **discarded**, never pooled;
+* an exchange that fails on a *reused* connection is retried once on a
+  fresh one — the server closing an idle keep-alive socket between
+  requests is routine, not an outage (the PPA endpoints are idempotent
+  evaluations, so the replay is safe);
+* non-2xx statuses are returned, not raised — the transport layer of the
+  engine owns retry/breaker policy.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.client import HTTPConnection, HTTPException, HTTPSConnection
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import EvaluationError
+
+__all__ = ["ConnectionPool", "PoolResponse"]
+
+
+class PoolResponse:
+    """One completed HTTP exchange: status, headers, body bytes."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status: int, headers: Dict[str, str], body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def header(self, name: str) -> Optional[str]:
+        return self.headers.get(name.lower())
+
+
+class ConnectionPool:
+    """Thread-safe keep-alive connection pool for a single ``base_url``.
+
+    The URL is parsed exactly once, at construction — request paths are
+    joined onto the parsed prefix, not re-parsed per call.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 10.0,
+        max_idle: int = 8,
+    ):
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", "https"):
+            raise EvaluationError(
+                f"unsupported service URL scheme {parts.scheme!r} in "
+                f"{base_url!r} (need http or https)"
+            )
+        if not parts.hostname:
+            raise EvaluationError(f"service URL {base_url!r} has no host")
+        self.base_url = base_url.rstrip("/")
+        self.scheme = parts.scheme
+        self.host = parts.hostname
+        self.port = parts.port  # None lets http.client pick the default
+        self.path_prefix = parts.path.rstrip("/")
+        self.timeout_s = timeout_s
+        self.max_idle = max_idle
+        self._idle: List[HTTPConnection] = []
+        self._lock = threading.Lock()
+        # pool telemetry (surfaced through the engine's stats())
+        self.num_created = 0
+        self.num_reused = 0
+        self.num_discarded = 0
+        self.num_stale_retries = 0
+
+    # -- connection lifecycle ---------------------------------------------------
+    def _connect(self) -> HTTPConnection:
+        conn_cls = HTTPSConnection if self.scheme == "https" else HTTPConnection
+        connection = conn_cls(self.host, self.port, timeout=self.timeout_s)
+        with self._lock:
+            self.num_created += 1
+        return connection
+
+    def _acquire(self) -> Tuple[HTTPConnection, bool]:
+        """A pooled connection (reused=True) or a fresh one."""
+        with self._lock:
+            if self._idle:
+                self.num_reused += 1
+                return self._idle.pop(), True
+        return self._connect(), False
+
+    def _release(self, connection: HTTPConnection) -> None:
+        with self._lock:
+            if len(self._idle) < self.max_idle:
+                self._idle.append(connection)
+                return
+            self.num_discarded += 1
+        connection.close()
+
+    def _discard(self, connection: HTTPConnection) -> None:
+        with self._lock:
+            self.num_discarded += 1
+        connection.close()
+
+    def close(self) -> None:
+        """Close every idle connection (in-flight ones close on discard)."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()
+
+    # -- request path -----------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> PoolResponse:
+        """One HTTP exchange; transport failures raise ``http.client`` /
+        ``OSError`` exceptions for the caller's retry policy."""
+        connection, reused = self._acquire()
+        try:
+            return self._roundtrip(connection, method, path, body, headers)
+        except (HTTPException, OSError):
+            self._discard(connection)
+            if not reused:
+                raise
+            # stale keep-alive socket: replay once on a fresh connection
+            with self._lock:
+                self.num_stale_retries += 1
+            fresh = self._connect()
+            try:
+                return self._roundtrip(fresh, method, path, body, headers)
+            except (HTTPException, OSError):
+                self._discard(fresh)
+                raise
+
+    def _roundtrip(
+        self,
+        connection: HTTPConnection,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Optional[Dict[str, str]],
+    ) -> PoolResponse:
+        connection.request(
+            method, f"{self.path_prefix}{path}", body=body, headers=headers or {}
+        )
+        response = connection.getresponse()
+        payload = response.read()  # drain fully so the socket is reusable
+        reply_headers = {
+            key.lower(): value for key, value in response.getheaders()
+        }
+        if response.will_close:
+            self._discard(connection)
+        else:
+            self._release(connection)
+        return PoolResponse(response.status, reply_headers, payload)
+
+    def stats(self) -> Dict:
+        with self._lock:
+            return {
+                "base_url": self.base_url,
+                "idle": len(self._idle),
+                "num_created": self.num_created,
+                "num_reused": self.num_reused,
+                "num_discarded": self.num_discarded,
+                "num_stale_retries": self.num_stale_retries,
+            }
+
+    # -- pickling (process-backend rounds ship engine copies) -------------------
+    def __getstate__(self) -> Dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        state["_idle"] = []  # sockets never cross a process boundary
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

@@ -46,18 +46,30 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
-def _split_labeled_name(name: str) -> Tuple[str, Optional[str]]:
-    """Split the registry's ``base[label]`` convention into (base, label).
+_LABEL_KEY = re.compile(r"^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)=(?P<value>.+)$")
 
-    The service records per-path request counters as
-    ``service_requests_total[/evaluate_layer]``; Prometheus wants one
-    ``service_requests_total`` family with a ``path`` label instead.
+
+def _split_labeled_name(name: str) -> Tuple[str, Optional[str], str]:
+    """Split the registry's labeled-name conventions into (base, value, key).
+
+    Two spellings exist:
+
+    * ``base[label]`` — a bare value under the default ``path`` key; the
+      service records per-path request counters as
+      ``service_requests_total[/evaluate_layer]``;
+    * ``base[key=value]`` — an explicit label key; the fleet router
+      records per-replica counters as
+      ``fleet_requests_total[shard=shard-0]``.
     """
     if name.endswith("]"):
         idx = name.find("[")
         if 0 < idx < len(name) - 1:
-            return name[:idx], name[idx + 1 : -1]
-    return name, None
+            inner = name[idx + 1 : -1]
+            match = _LABEL_KEY.match(inner)
+            if match is not None:
+                return name[:idx], match.group("value"), match.group("key")
+            return name[:idx], inner, "path"
+    return name, None, "path"
 
 
 def _fmt(value: float) -> str:
@@ -73,22 +85,23 @@ def render_prometheus(snapshot: Dict) -> str:
     """
     lines: List[str] = []
 
-    families: Dict[str, List[Tuple[Optional[str], float]]] = {}
+    families: Dict[str, List[Tuple[Optional[str], str, float]]] = {}
     for name, value in snapshot.get("counters", {}).items():
-        base, label = _split_labeled_name(str(name))
+        base, label, key = _split_labeled_name(str(name))
         families.setdefault(sanitize_metric_name(base), []).append(
-            (label, float(value))
+            (label, key, float(value))
         )
     for base in sorted(families):
         lines.append(f"# TYPE {base} counter")
-        for label, value in sorted(
-            families[base], key=lambda item: item[0] or ""
+        for label, key, value in sorted(
+            families[base], key=lambda item: (item[1], item[0] or "")
         ):
             if label is None:
                 lines.append(f"{base} {_fmt(value)}")
             else:
                 lines.append(
-                    f'{base}{{path="{_escape_label_value(label)}"}} {_fmt(value)}'
+                    f'{base}{{{key}="{_escape_label_value(label)}"}} '
+                    f"{_fmt(value)}"
                 )
 
     histograms = snapshot.get("histograms", {})

@@ -56,6 +56,17 @@ class SimulatedClock:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
 
+    # clocks ride along with engines pickled to process-backend workers;
+    # the lock is process-local state and is recreated on unpickle
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
     @property
     def now_s(self) -> float:
         """Current simulated time in seconds."""

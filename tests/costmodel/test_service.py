@@ -628,3 +628,78 @@ class TestClientValidation:
     def test_invalid_batch_size(self, tiny_network):
         with pytest.raises(EvaluationError):
             _fast_remote(tiny_network, "http://x", batch_size=0)
+
+
+class TestGracefulDrain:
+    def _post_layer(self, url, hw):
+        request = Request(
+            f"{url}/evaluate_layer",
+            data=json.dumps(
+                {
+                    "hw": encode_object(hw),
+                    "mapping": encode_object(GemmMapping(4, 8, 4)),
+                    "layer": "gemm",
+                }
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        return urlopen(request, timeout=5.0)
+
+    def test_draining_returns_fast_503(self, tiny_network, sample_hw):
+        import urllib.error
+
+        with PPAServiceServer(MaestroEngine(tiny_network)) as server:
+            server.begin_drain()
+            assert server.draining
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                self._post_layer(server.url, sample_hw)
+            assert exc_info.value.code == 503
+            assert json.loads(exc_info.value.read())["error"] == "service draining"
+            assert (
+                server.metrics.counter_value("service_drain_rejections_total")
+                == 1
+            )
+
+    def test_drain_waits_for_inflight_requests(self, tiny_network, sample_hw):
+        """An in-flight request completes; only then does drain() return."""
+        started = threading.Event()
+
+        class SlowEngine(MaestroEngine):
+            def evaluate_layer(self, hw, mapping, layer_name):
+                started.set()
+                time.sleep(0.3)
+                return super().evaluate_layer(hw, mapping, layer_name)
+
+        with PPAServiceServer(SlowEngine(tiny_network)) as server:
+            outcome = {}
+
+            def inflight():
+                with self._post_layer(server.url, sample_hw) as response:
+                    outcome["payload"] = json.loads(response.read())
+
+            worker = threading.Thread(target=inflight)
+            worker.start()
+            assert started.wait(timeout=5.0)
+            server.begin_drain()
+            assert server.inflight_requests >= 1
+            assert server.drain(timeout_s=5.0)
+            worker.join(timeout=5.0)
+            assert outcome["payload"]["feasible"]
+            assert server.inflight_requests == 0
+
+    def test_stop_is_drain_then_shutdown(self, tiny_network):
+        server = PPAServiceServer(MaestroEngine(tiny_network)).start()
+        url = server.url
+        server.stop()
+        with pytest.raises(OSError):
+            urlopen(f"{url}/health", timeout=0.5)
+
+    def test_health_keeps_serving_during_drain(self, tiny_network):
+        """GETs are rejected too -- a draining replica must read as down."""
+        import urllib.error
+
+        with PPAServiceServer(MaestroEngine(tiny_network)) as server:
+            server.begin_drain()
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                urlopen(f"{server.url}/health", timeout=2.0)
+            assert exc_info.value.code == 503

@@ -1,0 +1,177 @@
+"""Sharded client: parity with local engines, fan-out, failover, draining."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.costmodel import MaestroEngine
+from repro.costmodel.maestro import spatial_area_mm2
+from repro.costmodel.service import PPAServiceServer
+from repro.fleet.client import ShardedPPAEngine
+from repro.mapping import FlexTensorSearch, GemmMapping
+
+MAPPINGS = [
+    GemmMapping(4, 8, 4),
+    GemmMapping(8, 8, 8),
+    GemmMapping(16, 16, 8),
+    GemmMapping(4, 16, 16),
+    GemmMapping(8, 32, 8),
+    GemmMapping(16, 8, 16),
+]
+
+
+@pytest.fixture()
+def fleet(tiny_network):
+    servers = [PPAServiceServer(MaestroEngine(tiny_network)) for _ in range(3)]
+    for server in servers:
+        server.start()
+    yield servers
+    for server in servers:
+        server.stop()
+
+
+def _sharded(tiny_network, fleet, **overrides):
+    kwargs = dict(
+        timeout_s=2.0,
+        max_network_retries=0,
+        backoff_base_s=0.001,
+        backoff_max_s=0.002,
+        batch_size=2,
+    )
+    kwargs.update(overrides)
+    return ShardedPPAEngine(
+        tiny_network,
+        [server.url for server in fleet],
+        area_fn=spatial_area_mm2,
+        **kwargs,
+    )
+
+
+class TestParity:
+    def test_candidates_match_local_engine(self, tiny_network, fleet, sample_hw):
+        local = MaestroEngine(tiny_network)
+        sharded = _sharded(tiny_network, fleet)
+        assert sharded.evaluate_candidates(
+            sample_hw, "gemm", MAPPINGS
+        ) == local.evaluate_candidates(sample_hw, "gemm", MAPPINGS)
+        assert sharded.num_queries == local.num_queries
+        sharded.close()
+
+    def test_layers_match_local_engine(self, tiny_network, fleet, sample_hw):
+        local = MaestroEngine(tiny_network)
+        sharded = _sharded(tiny_network, fleet)
+        requests = [(mapping, "gemm") for mapping in MAPPINGS]
+        assert sharded.evaluate_layers(
+            sample_hw, requests
+        ) == local.evaluate_layers(sample_hw, requests)
+        assert sharded.num_queries == local.num_queries
+        sharded.close()
+
+    def test_repeat_served_from_client_cache(self, tiny_network, fleet, sample_hw):
+        sharded = _sharded(tiny_network, fleet)
+        first = sharded.evaluate_candidates(sample_hw, "gemm", MAPPINGS)
+        backend_queries = [server.engine.num_queries for server in fleet]
+        again = sharded.evaluate_candidates(sample_hw, "gemm", MAPPINGS)
+        assert again == first
+        assert [server.engine.num_queries for server in fleet] == backend_queries
+        assert sharded.num_cache_hits == len(MAPPINGS)
+        sharded.close()
+
+    def test_full_search_bit_identical_to_local(
+        self, tiny_network, fleet, sample_hw
+    ):
+        """The tentpole parity gate: a search sees identical bytes."""
+        local_search = FlexTensorSearch(
+            tiny_network, sample_hw, MaestroEngine(tiny_network), seed=7
+        )
+        local_search.run(20)
+        sharded = _sharded(tiny_network, fleet)
+        remote_search = FlexTensorSearch(tiny_network, sample_hw, sharded, seed=7)
+        remote_search.run(20)
+        assert np.array_equal(
+            remote_search.best_curve(), local_search.best_curve()
+        )
+        assert remote_search.best_objective == local_search.best_objective
+        sharded.close()
+
+    def test_work_spreads_across_replicas(self, tiny_network, fleet, sample_hw):
+        sharded = _sharded(tiny_network, fleet)
+        sharded.evaluate_candidates(sample_hw, "gemm", MAPPINGS)
+        served = [server.engine.num_queries for server in fleet]
+        assert sum(served) == len(MAPPINGS)
+        assert sum(1 for count in served if count > 0) >= 2
+        sharded.close()
+
+
+class TestFailover:
+    def test_dead_replica_fails_over(self, tiny_network, fleet, sample_hw):
+        local = MaestroEngine(tiny_network)
+        sharded = _sharded(tiny_network, fleet)
+        fleet[0].stop()
+        results = sharded.evaluate_candidates(sample_hw, "gemm", MAPPINGS)
+        assert results == local.evaluate_candidates(sample_hw, "gemm", MAPPINGS)
+        sharded.close()
+
+    def test_draining_replica_rerouted_without_breaker_charge(
+        self, tiny_network, fleet, sample_hw
+    ):
+        local = MaestroEngine(tiny_network)
+        sharded = _sharded(tiny_network, fleet)
+        fleet[1].begin_drain()
+        results = sharded.evaluate_candidates(sample_hw, "gemm", MAPPINGS)
+        assert results == local.evaluate_candidates(sample_hw, "gemm", MAPPINGS)
+        # a drain is routine: no breaker may have opened anywhere
+        assert all(
+            shard.breaker.num_opens == 0 for shard in sharded.router.shards
+        )
+        sharded.close()
+
+    def test_single_url_degenerates_to_remote_engine(
+        self, tiny_network, fleet, sample_hw
+    ):
+        local = MaestroEngine(tiny_network)
+        sharded = _sharded(tiny_network, fleet[:1])
+        assert sharded.evaluate_candidates(
+            sample_hw, "gemm", MAPPINGS
+        ) == local.evaluate_candidates(sample_hw, "gemm", MAPPINGS)
+        sharded.close()
+
+    def test_no_urls_rejected(self, tiny_network):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            ShardedPPAEngine(tiny_network, [], area_fn=spatial_area_mm2)
+
+
+class TestStatsAndPickle:
+    def test_stats_report_fleet_block(self, tiny_network, fleet, sample_hw):
+        sharded = _sharded(tiny_network, fleet)
+        sharded.evaluate_candidates(sample_hw, "gemm", MAPPINGS)
+        stats = sharded.stats()
+        assert stats["fleet"]["replicas"] == 3
+        assert len(stats["fleet"]["shards"]) == 3
+        assert any(
+            shard["pool"]["num_created"] > 0
+            for shard in stats["fleet"]["shards"]
+        )
+        sharded.close()
+
+    def test_health_probes_every_shard(self, tiny_network, fleet):
+        sharded = _sharded(tiny_network, fleet)
+        report = sharded.health()
+        assert set(report) == {"shard-0", "shard-1", "shard-2"}
+        assert all(payload["status"] == "ok" for payload in report.values())
+        sharded.close()
+
+    def test_pickle_roundtrip_still_evaluates(
+        self, tiny_network, fleet, sample_hw
+    ):
+        sharded = _sharded(tiny_network, fleet)
+        sharded.evaluate_candidates(sample_hw, "gemm", MAPPINGS[:2])
+        clone = pickle.loads(pickle.dumps(sharded))
+        assert clone.evaluate_candidates(
+            sample_hw, "gemm", MAPPINGS
+        ) == sharded.evaluate_candidates(sample_hw, "gemm", MAPPINGS)
+        clone.close()
+        sharded.close()

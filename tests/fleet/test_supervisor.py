@@ -1,0 +1,84 @@
+"""Fleet supervisor: replica lifecycle, health, graceful SIGTERM stops."""
+
+import json
+from urllib.request import urlopen
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.server import FleetSupervisor, ReplicaSpec, build_replica_engine
+
+SPEC = ReplicaSpec(network="mobilenetv3_small", cache_capacity=256)
+
+
+class TestSpec:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplicaSpec(network="mobilenetv3_small", engine="verilog")
+
+    def test_build_maestro_engine(self):
+        engine = build_replica_engine(SPEC)
+        assert engine.network.name == "mobilenetv3_small"
+        assert engine.cache_capacity == 256
+
+    def test_build_ascend_engine(self):
+        spec = ReplicaSpec(network="mobilenetv3_small", engine="ascend")
+        engine = build_replica_engine(spec)
+        assert engine.network.name == "mobilenetv3_small"
+
+
+class TestLifecycle:
+    def test_replicas_rejected_below_one(self):
+        with pytest.raises(ConfigurationError):
+            FleetSupervisor(SPEC, replicas=0)
+
+    def test_start_serves_and_stop_kills(self):
+        with FleetSupervisor(SPEC, replicas=2) as fleet:
+            assert len(fleet.urls) == 2
+            assert len(set(fleet.urls)) == 2
+            for url in fleet.urls:
+                with urlopen(f"{url}/health", timeout=5.0) as response:
+                    payload = json.loads(response.read())
+                assert payload["status"] == "ok"
+                assert payload["workload"] == "mobilenetv3_small"
+            rows = fleet.status()
+            assert all(row["alive"] for row in rows)
+            assert all(row["health"]["status"] == "ok" for row in rows)
+            procs = list(fleet._procs)
+        # context exit stopped everything
+        assert fleet.urls == []
+        assert all(not proc.is_alive() for proc in procs)
+
+    def test_sigterm_is_a_clean_exit(self):
+        """SIGTERM runs the drain path, not a hard kill (exitcode 0)."""
+        fleet = FleetSupervisor(SPEC, replicas=2).start()
+        try:
+            proc = fleet._procs[0]
+            fleet.terminate_replica(0)
+            proc.join(timeout=10.0)
+            assert not proc.is_alive()
+            assert proc.exitcode == 0
+            rows = fleet.status()
+            assert rows[0]["alive"] is False
+            assert rows[1]["alive"] is True
+        finally:
+            fleet.stop()
+
+    def test_double_start_rejected(self):
+        fleet = FleetSupervisor(SPEC, replicas=1).start()
+        try:
+            with pytest.raises(ConfigurationError):
+                fleet.start()
+        finally:
+            fleet.stop()
+
+    def test_fixed_ports_honored(self):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        spec = ReplicaSpec(network="mobilenetv3_small", ports=(port,))
+        with FleetSupervisor(spec, replicas=1) as fleet:
+            assert fleet.urls[0].endswith(f":{port}")
