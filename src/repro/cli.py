@@ -11,7 +11,12 @@ Commands
   service (for master-slave deployments).
 * ``fleet`` — run N sharded service replicas under one supervisor
   (``fleet serve``), or check the health of running replicas
-  (``fleet status``).
+  (``fleet status``; add ``--watch`` for a live scrape-based dashboard).
+* ``hub`` — the control-plane service (``hub serve``): run lifecycle
+  endpoints, live SSE journal streaming and fleet-wide metrics
+  aggregation, plus thin clients (``hub submit``/``runs``/``cancel``).
+* ``runs tail`` — a run's last journal events (bounded read), or a live
+  typed feed with ``--follow`` (local polling or hub SSE via ``--hub``).
 * ``stats`` — query a running PPA service's ``GET /metrics`` endpoint and
   summarize query counts, cache behaviour and request latency.
 * ``learned`` — train/evaluate a journal-distilled learned cost model
@@ -322,15 +327,119 @@ def _cmd_runs_trace(args) -> int:
     return 0
 
 
-def _cmd_runs_tail(args) -> int:
-    from repro.tracking import RunStore, read_events
+def _render_live_event(event: dict) -> str:
+    """One human-readable line per journal event (the --follow renderer)."""
+    kind = str(event.get("type", "?"))
+    seq = event.get("seq", "?")
+    prefix = f"[{seq:>5}] {kind:<16s}"
+    if kind == "iteration_end":
+        r = event.get("record", {})
+        return (
+            f"{prefix} iter {r.get('iteration', '?'):>3}  "
+            f"t={float(r.get('time_s', 0.0)) / 3600.0:7.3f}h  "
+            f"uul={r.get('uul', float('nan')):.4g}  "
+            f"sel={r.get('num_selected', 0)}  feas={r.get('num_feasible', 0)}  "
+            f"pareto={r.get('pareto_size', 0)}  "
+            f"best={r.get('best_scalar', float('nan')):.4g}"
+        )
+    if kind == "msh_round":
+        return (
+            f"{prefix} iter {event.get('iteration', '?')} "
+            f"round {event.get('round_index', '?')}: "
+            f"{len(event.get('candidates', []))} candidates → "
+            f"{len(event.get('survivors', []))} survivors "
+            f"({len(event.get('auc_promoted', []))} AUC-promoted)"
+        )
+    if kind == "engine_snapshot":
+        engine = event.get("engine", {}) or {}
+        queries = engine.get("num_queries", 0)
+        hits = engine.get("num_cache_hits", 0)
+        rate = hits / queries if queries else 0.0
+        return (f"{prefix} queries={queries}  cache_hits={hits} "
+                f"({rate:.1%})  evictions={engine.get('num_cache_evictions', 0)}")
+    if kind == "pareto_update":
+        return f"{prefix} pareto grew to {event.get('pareto_size', '?')}"
+    if kind == "checkpoint":
+        return (f"{prefix} saved {event.get('path', '?')} at iteration "
+                f"{event.get('completed_iterations', '?')}")
+    if kind == "run_end":
+        return (
+            f"{prefix} {event.get('completed_iterations', '?')} iterations, "
+            f"{event.get('total_hw_evaluated', '?')} hw evaluated, "
+            f"pareto={event.get('pareto_size', '?')}, "
+            f"t={float(event.get('total_time_s', 0.0)) / 3600.0:.2f}h"
+        )
+    if kind in ("run_start", "resume"):
+        keep = {k: v for k, v in event.items()
+                if k in ("method", "run_id", "from_iteration", "seed")}
+        return f"{prefix} {json.dumps(keep, sort_keys=True)}"
+    compact = json.dumps(
+        {k: v for k, v in event.items() if k not in ("seq", "type")},
+        sort_keys=True,
+    )
+    return f"{prefix} {compact[:120]}"
+
+
+def _runs_tail_follow(args) -> int:
+    """Live tail: stream a hub's SSE endpoint, or poll the local journal."""
+    import time as _time
+
+    if args.hub:
+        from repro.hub import HubClient
+
+        client = HubClient(args.hub)
+        try:
+            for streamed in client.stream_events(args.run_id):
+                event = streamed.event or {}
+                if args.type and event.get("type") != args.type:
+                    continue
+                print(_render_live_event(event), flush=True)
+        except KeyboardInterrupt:
+            return 0
+        finally:
+            client.close()
+        return 0
+    from repro.tracking import RunStore, read_events_from, read_tail_events
 
     run = RunStore(args.runs_dir).get(args.run_id)
-    scan = read_events(run.journal_path)
-    events = scan.events
-    if args.type:
-        events = [e for e in events if e.get("type") == args.type]
-    for event in events[-args.lines:]:
+    cursor = 0
+    if run.journal_path.exists():
+        scan = read_tail_events(run.journal_path, args.lines,
+                                event_type=args.type)
+        for event in scan.events:
+            print(_render_live_event(event), flush=True)
+        cursor = scan.valid_bytes
+    try:
+        while True:
+            if run.journal_path.exists():
+                scan = read_events_from(run.journal_path, cursor)
+                for event in scan.events:
+                    if args.type and event.get("type") != args.type:
+                        continue
+                    print(_render_live_event(event), flush=True)
+                progressed = bool(scan.events)
+                cursor = scan.valid_bytes
+            else:
+                progressed = False
+            status = run.read_manifest().get("status")
+            if status in ("completed", "failed", "cancelled") and not progressed:
+                print(f"(run {status})")
+                return 0
+            _time.sleep(0.2)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_runs_tail(args) -> int:
+    if args.follow:
+        return _runs_tail_follow(args)
+    from repro.tracking import RunStore, read_tail_events
+
+    run = RunStore(args.runs_dir).get(args.run_id)
+    # bounded read: only the journal's final chunk is parsed, so tailing
+    # a multi-day run costs the same as tailing a smoke run
+    scan = read_tail_events(run.journal_path, args.lines, event_type=args.type)
+    for event in scan.events:
         print(json.dumps(event, sort_keys=True))
     if scan.truncated_tail:
         print("(journal has a truncated tail — run was interrupted mid-write)",
@@ -492,7 +601,97 @@ def _cmd_fleet_serve(args) -> int:
     return 0
 
 
+def _render_fleet_dashboard(status: dict, prev: Optional[dict],
+                            elapsed_s: float) -> str:
+    """Terminal dashboard for one fleet-status snapshot.
+
+    Rates (evals/s) come from counter deltas between this snapshot and
+    the previous one, which is why the watch loop threads ``prev``.
+    """
+    def _rate(now_row: dict, prev_row: Optional[dict]) -> str:
+        if prev_row is None or elapsed_s <= 0:
+            return "      -"
+        delta = now_row.get("queries", 0.0) - prev_row.get("queries", 0.0)
+        return f"{max(delta, 0.0) / elapsed_s:7.1f}"
+
+    prev_rows = {
+        row["name"]: row for row in (prev or {}).get("replicas", [])
+    }
+    fleet = status["fleet"]
+    queries = fleet.get("queries", 0.0)
+    hits = fleet.get("cache_hits", 0.0)
+    hit_rate = hits / queries if queries else 0.0
+    lines = [
+        f"fleet: {status['up']}/{status['total']} replicas up   "
+        f"evals/s {_rate(fleet, (prev or {}).get('fleet'))}   "
+        f"cache hit rate {hit_rate:6.1%}   "
+        f"errors {fleet.get('errors', 0.0):g}",
+        "",
+        f"{'replica':<22} {'state':<6} {'evals/s':>8} {'queries':>10} "
+        f"{'hits':>10} {'evict':>8} {'errors':>7} {'scrape':>8}",
+    ]
+    for row in status["replicas"]:
+        if not row["up"]:
+            lines.append(
+                f"{row['name']:<22} {'DOWN':<6} "
+                f"{(row.get('error') or '')[:60]}"
+            )
+            continue
+        lines.append(
+            f"{row['name']:<22} {'up':<6} "
+            f"{_rate(row, prev_rows.get(row['name'])):>8} "
+            f"{row.get('queries', 0.0):>10g} "
+            f"{row.get('cache_hits', 0.0):>10g} "
+            f"{row.get('cache_evictions', 0.0):>8g} "
+            f"{row.get('errors', 0.0):>7g} "
+            f"{row.get('scrape_seconds', 0.0) * 1e3:>6.1f}ms"
+        )
+    return "\n".join(lines)
+
+
+def _fleet_status_dashboard(args) -> int:
+    """Scrape-based fleet status (one shot or ``--watch`` live loop)."""
+    import time as _time
+
+    if args.hub:
+        from repro.hub import HubClient
+
+        source = HubClient(args.hub, timeout_s=args.timeout)
+        fetch = source.fleet_status
+    else:
+        if not args.urls:
+            print("error: fleet status needs replica URLs or --hub",
+                  file=sys.stderr)
+            return 2
+        from repro.hub import FleetAggregator
+
+        source = FleetAggregator(args.urls, timeout_s=args.timeout)
+        fetch = source.status
+    prev = None
+    prev_t = None
+    try:
+        while True:
+            status = fetch()
+            now = _time.monotonic()
+            text = _render_fleet_dashboard(
+                status, prev, (now - prev_t) if prev_t is not None else 0.0
+            )
+            if args.watch:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(text, flush=True)
+            if not args.watch:
+                return 0 if status["up"] == status["total"] else 1
+            prev, prev_t = status, now
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        source.close()
+
+
 def _cmd_fleet_status(args) -> int:
+    if args.watch or args.hub:
+        return _fleet_status_dashboard(args)
     from urllib.request import urlopen
 
     failures = 0
@@ -513,6 +712,96 @@ def _cmd_fleet_status(args) -> int:
             f"queries={health.get('queries', '?')}"
         )
     return 1 if failures else 0
+
+
+def _cmd_hub_serve(args) -> int:
+    import threading
+    import time as _time
+
+    from repro.hub import HubServer
+
+    server = HubServer(
+        args.runs_dir,
+        replica_urls=args.replicas or None,
+        host=args.host,
+        port=args.port,
+    )
+    server.start()
+    stopped = threading.Event()
+    server.install_signal_handlers(on_stopped=stopped.set)
+    print(f"repro hub on {server.url} (runs dir {args.runs_dir})")
+    if args.replicas:
+        print(f"aggregating {len(args.replicas)} replicas "
+              "at /fleet/metrics and /fleet/status")
+    print("endpoints: /runs /runs/<id>/events (SSE) /metrics /health; "
+          "Ctrl-C drains and stops.")
+    try:
+        while not stopped.is_set():
+            _time.sleep(0.5)
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+def _cmd_hub_submit(args) -> int:
+    from repro.hub import HubClient
+
+    spec = {
+        "method": args.method,
+        "scenario": args.scenario,
+        "workload": args.network,
+        "preset": args.preset,
+        "seed": args.seed,
+        "checkpoint_every": args.checkpoint_every,
+    }
+    if args.time_budget is not None:
+        spec["time_budget_s"] = args.time_budget * 3600.0
+    with HubClient(args.hub) as client:
+        run_id = client.submit(spec)
+    print(run_id)
+    return 0
+
+
+def _cmd_hub_runs(args) -> int:
+    from repro.hub import HubClient
+
+    with HubClient(args.hub) as client:
+        reply = client.list_runs()
+    runs = reply.get("runs", [])
+    if not runs:
+        print("(no runs)")
+        return 0
+    print(f"{'run_id':<44} {'status':<10} {'method':<10} "
+          f"{'workload':<18} preset")
+    for row in runs:
+        print(
+            f"{row.get('run_id', '?'):<44} {row.get('status', '?'):<10} "
+            f"{row.get('method', '?'):<10} {row.get('workload', '?'):<18} "
+            f"{row.get('preset', '?')}"
+        )
+    state = reply.get("scheduler", {})
+    if state:
+        print(f"scheduler: running={state.get('running')} "
+              f"queued={len(state.get('queued', []))}")
+    return 0
+
+
+def _cmd_hub_cancel(args) -> int:
+    from repro.hub import HubClient
+
+    with HubClient(args.hub) as client:
+        reply = client.cancel(args.run_id)
+    print(f"{args.run_id}: {reply.get('status', '?')}")
+    return 0
+
+
+def _cmd_hub_resume(args) -> int:
+    from repro.hub import HubClient
+
+    with HubClient(args.hub) as client:
+        run_id = client.resume(args.run_id)
+    print(f"{run_id}: queued for resume")
+    return 0
 
 
 def _cmd_stats(args) -> int:
@@ -753,6 +1042,15 @@ def build_parser() -> argparse.ArgumentParser:
     runs_tail.add_argument("--type", default=None,
                            help="only events of this type")
     runs_tail.add_argument("--runs-dir", default="runs")
+    runs_tail.add_argument(
+        "-f", "--follow", action="store_true",
+        help="render events live as the run produces them",
+    )
+    runs_tail.add_argument(
+        "--hub", default=None, metavar="URL",
+        help="with --follow: stream over the hub's SSE endpoint "
+             "instead of polling the local journal",
+    )
     runs_tail.set_defaults(fn=_cmd_runs_tail)
 
     runs_compare = runs_sub.add_parser(
@@ -854,9 +1152,70 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_status = fleet_sub.add_parser(
         "status", help="health-check running replica URLs"
     )
-    fleet_status.add_argument("urls", nargs="+")
+    fleet_status.add_argument("urls", nargs="*")
     fleet_status.add_argument("--timeout", type=float, default=5.0)
+    fleet_status.add_argument(
+        "--watch", action="store_true",
+        help="live scrape-based dashboard (evals/s, cache hits, errors)",
+    )
+    fleet_status.add_argument(
+        "--hub", default=None, metavar="URL",
+        help="read fleet status from a hub's /fleet/status instead of "
+             "scraping replicas directly",
+    )
+    fleet_status.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period for --watch, in seconds",
+    )
     fleet_status.set_defaults(fn=_cmd_fleet_status)
+
+    hub_parser = sub.add_parser(
+        "hub", help="run or talk to the control-plane hub"
+    )
+    hub_sub = hub_parser.add_subparsers(dest="hub_command", required=True)
+    hub_serve = hub_sub.add_parser(
+        "serve",
+        help="serve run lifecycle, SSE journal streams and fleet metrics",
+    )
+    hub_serve.add_argument("--runs-dir", default="runs")
+    hub_serve.add_argument("--host", default="127.0.0.1")
+    hub_serve.add_argument("--port", type=int, default=0)
+    hub_serve.add_argument(
+        "--replicas", nargs="*", default=[], metavar="URL",
+        help="PPA-service replica URLs to aggregate at /fleet/*",
+    )
+    hub_serve.set_defaults(fn=_cmd_hub_serve)
+    hub_submit = hub_sub.add_parser(
+        "submit", help="submit a run spec to a hub's scheduler"
+    )
+    hub_submit.add_argument("hub", help="hub base URL, e.g. http://host:port")
+    hub_submit.add_argument("method", choices=METHODS)
+    hub_submit.add_argument("network")
+    hub_submit.add_argument("--scenario", default="edge",
+                            choices=("edge", "cloud", "ascend"))
+    hub_submit.add_argument("--preset", default="smoke")
+    hub_submit.add_argument("--seed", type=int, default=0)
+    hub_submit.add_argument(
+        "--time-budget", type=float, default=None,
+        help="wall-clock budget in hours",
+    )
+    hub_submit.add_argument("--checkpoint-every", type=int, default=1)
+    hub_submit.set_defaults(fn=_cmd_hub_submit)
+    hub_runs = hub_sub.add_parser("runs", help="list a hub's tracked runs")
+    hub_runs.add_argument("hub")
+    hub_runs.set_defaults(fn=_cmd_hub_runs)
+    hub_cancel = hub_sub.add_parser(
+        "cancel", help="cancel a queued or running hub run"
+    )
+    hub_cancel.add_argument("hub")
+    hub_cancel.add_argument("run_id")
+    hub_cancel.set_defaults(fn=_cmd_hub_cancel)
+    hub_resume = hub_sub.add_parser(
+        "resume", help="queue an interrupted run for continuation"
+    )
+    hub_resume.add_argument("hub")
+    hub_resume.add_argument("run_id")
+    hub_resume.set_defaults(fn=_cmd_hub_resume)
 
     stats_parser = sub.add_parser(
         "stats", help="summarize a running PPA service's /metrics"

@@ -216,6 +216,10 @@ class PPAServiceServer:
             # pooled client actually reuses sockets; every reply carries
             # an explicit Content-Length, which 1.1 keep-alive requires.
             protocol_version = "HTTP/1.1"
+            # headers and body flush as separate small writes; with Nagle
+            # on, the second write waits ~40ms for the client's delayed
+            # ACK of the first on every keep-alive exchange
+            disable_nagle_algorithm = True
 
             def log_message(self, fmt, *args):  # silence request logging
                 pass
@@ -255,6 +259,12 @@ class PPAServiceServer:
             def _reply(self, status: int, payload: Dict) -> None:
                 span_json = self._finish_span(status)
                 body = json.dumps(payload, sort_keys=True).encode("utf-8")
+                # count before the body leaves the socket: once the client
+                # has the reply it may immediately scrape /metrics, and the
+                # request that produced the reply must already be there
+                metrics.counter(f"service_requests_total[{self.path}]").inc()
+                if status >= 400:
+                    metrics.counter("service_errors_total").inc()
                 self.send_response(status)
                 self.send_header("Content-Type", "application/json")
                 if span_json is not None:
@@ -262,13 +272,11 @@ class PPAServiceServer:
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
-                metrics.counter(f"service_requests_total[{self.path}]").inc()
-                if status >= 400:
-                    metrics.counter("service_errors_total").inc()
 
             def _reply_text(self, status: int, text: str) -> None:
                 """Plain-text reply (the Prometheus exposition path)."""
                 body = text.encode("utf-8")
+                metrics.counter(f"service_requests_total[{self.path}]").inc()
                 self.send_response(status)
                 self.send_header(
                     "Content-Type", "text/plain; charset=utf-8"
@@ -276,7 +284,6 @@ class PPAServiceServer:
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
-                metrics.counter(f"service_requests_total[{self.path}]").inc()
 
             def do_GET(self):
                 if not self._begin_request():

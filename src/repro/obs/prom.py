@@ -11,11 +11,17 @@ text exposition format conventions:
   ``service_requests_total[/evaluate_layer]``) becomes a proper
   ``{path="/evaluate_layer"}`` label set;
 * histograms as cumulative ``_bucket{le="..."}`` series plus ``_sum``
-  and ``_count``, closed by the mandatory ``+Inf`` bucket.
+  and ``_count``, closed by the mandatory ``+Inf`` bucket;
+* families whose base name appears in :data:`METRIC_HELP` get a
+  ``# HELP`` line ahead of their ``# TYPE`` header.
 
 :func:`parse_prometheus_text` is the matching strict parser; tests use
 it to prove the rendered output is actually scrapeable, and it validates
 the cumulative-bucket invariants a real Prometheus server enforces.
+Histogram validation groups series by their non-``le`` label sets, so a
+multi-replica exposition (the hub's fleet aggregation labels every
+series with ``replica="..."``) is held to the same invariants per
+replica.
 """
 
 from __future__ import annotations
@@ -23,14 +29,72 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Optional, Tuple
 
+#: metric → one-line description, rendered as ``# HELP`` ahead of the
+#: family's ``# TYPE`` header.  Keyed by *sanitized base* name; names not
+#: listed simply render without HELP (the format does not require it).
+METRIC_HELP: Dict[str, str] = {
+    "engine_queries_total": "PPA engine evaluations requested (cached or computed).",
+    "engine_cache_hits_total": "Engine queries served from the result cache.",
+    "engine_cache_evictions_total": "LRU evictions from the engine result cache.",
+    "engine_batch_queries_total": "Vectorized candidate-batch engine calls.",
+    "engine_retries_total": "Engine evaluations retried after transient failures.",
+    "engine_injected_failures_total": "Failures injected by the flaky test engine.",
+    "engine_compute_seconds": "Wall time of uncached scalar engine computations.",
+    "engine_batch_size": "Candidates per vectorized engine batch call.",
+    "engine_batch_compute_seconds_per_item":
+        "Per-candidate wall time of vectorized engine batch calls.",
+    "service_requests_total": "HTTP requests served, by endpoint path.",
+    "service_errors_total": "HTTP requests answered with a 4xx/5xx status.",
+    "service_drain_rejections_total":
+        "Requests rejected with 503 while the service was draining.",
+    "service_request_seconds": "Wall time spent serving HTTP requests.",
+    "remote_requests_total": "Requests the remote engine client sent upstream.",
+    "remote_network_retries_total":
+        "Transport-level retries of remote engine requests.",
+    "remote_circuit_rejections_total":
+        "Requests rejected fast by an open client circuit breaker.",
+    "remote_circuit_opened_total": "Times a client circuit breaker opened.",
+    "remote_error_body_unparsed_total":
+        "Upstream error bodies that were not parseable JSON.",
+    "remote_request_seconds": "Wall time of remote engine request round trips.",
+    "fleet_requests_total": "Requests routed to a fleet shard, by shard.",
+    "fleet_failovers_total":
+        "Keys served by a non-owner shard because the owner was down.",
+    "fleet_shard_down_total": "Times a shard was marked down, by shard.",
+    "runner_jobs_total": "Jobs dispatched through the parallel job runner.",
+    "runner_batches_total": "Job batches dispatched through the runner.",
+    "runner_pickle_fallbacks_total":
+        "Process-backend jobs that fell back to threads (unpicklable).",
+    "runner_unpicklable_jobs_total": "Jobs that failed the pickle check.",
+    "runner_batch_seconds": "Wall time of parallel job-runner batches.",
+    "hub_requests_total": "Hub control-plane HTTP requests, by endpoint path.",
+    "hub_errors_total": "Hub requests answered with a 4xx/5xx status.",
+    "hub_request_seconds": "Wall time of hub control-plane requests.",
+    "hub_sse_streams_total": "Journal SSE streams opened against the hub.",
+    "hub_sse_events_total": "Journal events sent over hub SSE streams.",
+    "hub_sse_resumes_total": "SSE streams resumed from a Last-Event-ID cursor.",
+    "hub_runs_submitted_total": "Runs submitted through POST /runs.",
+    "hub_runs_completed_total": "Hub-scheduled runs that reached completed.",
+    "hub_runs_failed_total": "Hub-scheduled runs that reached failed.",
+    "hub_runs_cancelled_total": "Hub-scheduled runs cancelled via the API.",
+    "hub_fleet_scrapes_total": "Fleet metric scrape sweeps performed by the hub.",
+    "hub_fleet_scrape_errors_total":
+        "Replica scrapes that failed or returned unparseable text.",
+    "hub_fleet_scrape_seconds": "Wall time of full fleet scrape+merge sweeps.",
+    "hub_fleet_merge_conflicts_total":
+        "Histogram families skipped from fleet rollups (bucket mismatch).",
+}
+
 _NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
 _SAMPLE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
+    r'(?:\{(?P<labels>(?:[^"}]|"(?:[^"\\]|\\.)*")*)\})?'
     r"\s+(?P<value>[^\s]+)$"
 )
-_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+_LABEL = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?P<sep>,|$)'
+)
 
 
 def sanitize_metric_name(name: str) -> str:
@@ -44,6 +108,26 @@ def sanitize_metric_name(name: str) -> str:
 def _escape_label_value(value: str) -> str:
     """Escape a label value per the text exposition format."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring (only ``\\`` and newline are special)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+_LABEL_UNESCAPE = re.compile(r'\\(\\|n|")')
+
+
+def _unescape_label_value(value: str) -> str:
+    """Single-pass inverse of :func:`_escape_label_value`.
+
+    Sequential ``str.replace`` calls are wrong here: a literal backslash
+    followed by ``n`` escapes to ``\\\\n``, whose middle ``\\n`` a naive
+    ``.replace("\\\\n", newline)`` pass would corrupt into a newline.
+    """
+    return _LABEL_UNESCAPE.sub(
+        lambda match: {"\\": "\\", "n": "\n", '"': '"'}[match.group(1)], value
+    )
 
 
 _LABEL_KEY = re.compile(r"^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)=(?P<value>.+)$")
@@ -77,13 +161,28 @@ def _fmt(value: float) -> str:
     return f"{float(value):g}"
 
 
-def render_prometheus(snapshot: Dict) -> str:
+def help_for(base: str, extra: Optional[Dict[str, str]] = None) -> Optional[str]:
+    """Description of a (sanitized) metric family, if one is registered."""
+    if extra is not None and base in extra:
+        return extra[base]
+    return METRIC_HELP.get(base)
+
+
+def render_prometheus(
+    snapshot: Dict, help_text: Optional[Dict[str, str]] = None
+) -> str:
     """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text.
 
     Deterministic: families and series appear in sorted-name order, so
     repeated scrapes of an idle registry are byte-identical.
+    ``help_text`` overlays :data:`METRIC_HELP` for ad-hoc families.
     """
     lines: List[str] = []
+
+    def _emit_help(base: str) -> None:
+        description = help_for(base, help_text)
+        if description:
+            lines.append(f"# HELP {base} {_escape_help(description)}")
 
     families: Dict[str, List[Tuple[Optional[str], str, float]]] = {}
     for name, value in snapshot.get("counters", {}).items():
@@ -92,6 +191,7 @@ def render_prometheus(snapshot: Dict) -> str:
             (label, key, float(value))
         )
     for base in sorted(families):
+        _emit_help(base)
         lines.append(f"# TYPE {base} counter")
         for label, key, value in sorted(
             families[base], key=lambda item: (item[1], item[0] or "")
@@ -108,6 +208,7 @@ def render_prometheus(snapshot: Dict) -> str:
     for name in sorted(histograms):
         hist = histograms[name]
         base = sanitize_metric_name(str(name))
+        _emit_help(base)
         lines.append(f"# TYPE {base} histogram")
         cumulative = 0
         for bound, bucket in zip(hist["bounds"], hist["bucket_counts"]):
@@ -122,31 +223,36 @@ def render_prometheus(snapshot: Dict) -> str:
 
 
 def _parse_labels(raw: Optional[str]) -> Dict[str, str]:
-    """Parse the ``key="value",...`` body of a label set; strict."""
+    """Parse the ``key="value",...`` body of a label set; strict.
+
+    Scans left to right with a quote-aware regex (label values may
+    legally contain commas and ``}``), so the split cannot land inside a
+    quoted value.
+    """
     labels: Dict[str, str] = {}
     if not raw:
         return labels
-    for part in raw.split(","):
-        match = _LABEL.match(part.strip())
-        if match is None:
-            raise ValueError(f"malformed label pair: {part!r}")
-        labels[match.group("key")] = (
-            match.group("value")
-            .replace("\\n", "\n")
-            .replace('\\"', '"')
-            .replace("\\\\", "\\")
-        )
+    position = 0
+    while position < len(raw):
+        match = _LABEL.match(raw, position)
+        if match is None or match.start() != position:
+            raise ValueError(f"malformed label pair at {raw[position:]!r}")
+        labels[match.group("key")] = _unescape_label_value(match.group("value"))
+        position = match.end()
     return labels
 
 
 def parse_prometheus_text(text: str) -> Dict[str, Dict]:
     """Strictly parse Prometheus text exposition into metric families.
 
-    Returns ``{family_name: {"type": str, "samples": [(name, labels,
-    value), ...]}}``.  Raises :class:`ValueError` on malformed lines,
-    samples without a preceding ``# TYPE``, illegal metric names, or
-    histogram families violating the cumulative ``_bucket``/``_sum``/
-    ``_count`` conventions — i.e. anything a real scraper would reject.
+    Returns ``{family_name: {"type": str, "help": Optional[str],
+    "samples": [(name, labels, value), ...]}}``.  Raises
+    :class:`ValueError` on malformed lines, samples without a preceding
+    ``# TYPE``, illegal metric names, malformed or duplicate ``# HELP``
+    lines, or histogram families violating the cumulative ``_bucket``/
+    ``_sum``/``_count`` conventions — i.e. anything a real scraper would
+    reject.  ``# HELP`` may precede its family's ``# TYPE`` (the
+    conventional order) or follow it.
     """
     families: Dict[str, Dict] = {}
     current: Optional[str] = None
@@ -166,12 +272,35 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict]:
                     raise ValueError(
                         f"line {lineno}: illegal metric name {current!r}"
                     )
-                if current in families:
+                family = families.get(current)
+                if family is None:
+                    families[current] = {
+                        "type": parts[3], "help": None, "samples": []
+                    }
+                elif family["type"] is None:  # created by a HELP line
+                    family["type"] = parts[3]
+                else:
                     raise ValueError(
                         f"line {lineno}: duplicate TYPE for {current!r}"
                     )
-                families[current] = {"type": parts[3], "samples": []}
-            continue  # HELP / comments
+            elif len(parts) >= 2 and parts[1] == "HELP":
+                if len(parts) < 3:
+                    raise ValueError(f"line {lineno}: malformed HELP: {line!r}")
+                name = parts[2]
+                if not _NAME_OK.match(name):
+                    raise ValueError(
+                        f"line {lineno}: illegal metric name {name!r}"
+                    )
+                docstring = line.split(None, 3)[3] if len(parts) > 3 else ""
+                family = families.setdefault(
+                    name, {"type": None, "help": None, "samples": []}
+                )
+                if family["help"] is not None:
+                    raise ValueError(
+                        f"line {lineno}: duplicate HELP for {name!r}"
+                    )
+                family["help"] = _unescape_help(docstring)
+            continue  # other comments
         match = _SAMPLE.match(line)
         if match is None:
             raise ValueError(f"line {lineno}: malformed sample: {line!r}")
@@ -192,37 +321,74 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict]:
         families[current]["samples"].append((name, labels, value))
 
     for family, data in families.items():
+        if data["type"] is None:
+            # a HELP line whose family never produced a TYPE or samples
+            data["type"] = "untyped"
         if data["type"] == "histogram":
             _validate_histogram_family(family, data["samples"])
     return families
 
 
+_HELP_UNESCAPE = re.compile(r"\\(\\|n)")
+
+
+def _unescape_help(text: str) -> str:
+    return _HELP_UNESCAPE.sub(
+        lambda match: {"\\": "\\", "n": "\n"}[match.group(1)], text
+    )
+
+
 def _validate_histogram_family(
     family: str, samples: List[Tuple[str, Dict[str, str], float]]
 ) -> None:
-    """Enforce cumulative-bucket/_sum/_count invariants for one family."""
-    buckets = [(l, v) for (n, l, v) in samples if n == family + "_bucket"]
-    counts = [v for (n, l, v) in samples if n == family + "_count"]
-    sums = [v for (n, l, v) in samples if n == family + "_sum"]
-    if not buckets or len(counts) != 1 or len(sums) != 1:
-        raise ValueError(
-            f"histogram {family!r} must have _bucket series and exactly "
-            "one _sum and one _count"
-        )
-    if any("le" not in labels for labels, _ in buckets):
-        raise ValueError(f"histogram {family!r} has a bucket without le=")
-    if buckets[-1][0].get("le") != "+Inf":
-        raise ValueError(f"histogram {family!r} must end with le=\"+Inf\"")
-    values = [v for _, v in buckets]
-    if any(b > a for b, a in zip(values, values[1:])):
-        raise ValueError(f"histogram {family!r} buckets are not cumulative")
-    if values[-1] != counts[0]:
-        raise ValueError(
-            f"histogram {family!r}: +Inf bucket {values[-1]} != _count {counts[0]}"
-        )
+    """Enforce cumulative-bucket/_sum/_count invariants for one family.
+
+    Series are grouped by their non-``le`` label sets first: a family may
+    carry one histogram per label set (e.g. one per ``replica="..."`` in
+    the hub's fleet exposition), and each group must independently satisfy
+    the cumulative-bucket conventions.
+    """
+    groups: Dict[Tuple[Tuple[str, str], ...], Dict[str, List]] = {}
+
+    def _group(labels: Dict[str, str]) -> Dict[str, List]:
+        key = tuple(sorted(
+            (k, v) for k, v in labels.items() if k != "le"
+        ))
+        return groups.setdefault(key, {"buckets": [], "counts": [], "sums": []})
+
+    for name, labels, value in samples:
+        if name == family + "_bucket":
+            _group(labels)["buckets"].append((labels, value))
+        elif name == family + "_count":
+            _group(labels)["counts"].append(value)
+        elif name == family + "_sum":
+            _group(labels)["sums"].append(value)
+    if not groups:
+        raise ValueError(f"histogram {family!r} has no series")
+    for key, group in groups.items():
+        where = f"histogram {family!r}" + (f" {dict(key)}" if key else "")
+        buckets, counts, sums = group["buckets"], group["counts"], group["sums"]
+        if not buckets or len(counts) != 1 or len(sums) != 1:
+            raise ValueError(
+                f"{where} must have _bucket series and exactly one _sum "
+                "and one _count"
+            )
+        if any("le" not in labels for labels, _ in buckets):
+            raise ValueError(f"{where} has a bucket without le=")
+        if buckets[-1][0].get("le") != "+Inf":
+            raise ValueError(f"{where} must end with le=\"+Inf\"")
+        values = [v for _, v in buckets]
+        if any(b > a for b, a in zip(values, values[1:])):
+            raise ValueError(f"{where} buckets are not cumulative")
+        if values[-1] != counts[0]:
+            raise ValueError(
+                f"{where}: +Inf bucket {values[-1]} != _count {counts[0]}"
+            )
 
 
 __all__ = [
+    "METRIC_HELP",
+    "help_for",
     "parse_prometheus_text",
     "render_prometheus",
     "sanitize_metric_name",

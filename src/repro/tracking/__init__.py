@@ -22,6 +22,8 @@ from repro.tracking.journal import (
     JournalScan,
     iter_events,
     read_events,
+    read_events_from,
+    read_tail_events,
     verify_sequence,
 )
 from repro.tracking.resume import (
@@ -51,6 +53,8 @@ __all__ = [
     "Tracker",
     "iter_events",
     "read_events",
+    "read_events_from",
+    "read_tail_events",
     "replay_iteration_records",
     "resume_run",
     "verify_run",

@@ -80,6 +80,12 @@ class JournalScan:
     #: byte offset just past the last complete, parseable line — the safe
     #: truncation point when reopening a crash-damaged journal for append
     valid_bytes: int = 0
+    #: byte offset the scan started at (0 for a full scan; the cursor for
+    #: :func:`read_events_from`)
+    start_offset: int = 0
+    #: absolute byte offset just past each event's line, parallel to
+    #: :attr:`events` — the SSE cursor ids of :mod:`repro.hub.sse`
+    event_offsets: List[int] = field(default_factory=list)
 
     def of_type(self, event_type: str) -> List[Dict]:
         return [e for e in self.events if e.get("type") == event_type]
@@ -182,18 +188,14 @@ def iter_events(path: Union[str, pathlib.Path]) -> Iterator[Dict]:
     yield from read_events(path).events
 
 
-def read_events(path: Union[str, pathlib.Path]) -> JournalScan:
-    """Read a journal, tolerating a crash-truncated final line.
+def _scan_bytes(raw: bytes, base_offset: int) -> JournalScan:
+    """Parse journal bytes that start at ``base_offset`` on a line boundary.
 
-    Raises :class:`TrackingError` only if the file is missing — corruption
-    confined to the tail is expected after a kill and is reported through
-    :attr:`JournalScan.truncated_tail`.
+    The shared core of :func:`read_events`, :func:`read_events_from` and
+    :func:`read_tail_events`: stops at the first malformed or unterminated
+    line and reports it as a truncated tail, exactly like a full scan.
     """
-    path = pathlib.Path(path)
-    if not path.exists():
-        raise TrackingError(f"journal {path} does not exist")
-    scan = JournalScan()
-    raw = path.read_bytes()
+    scan = JournalScan(start_offset=base_offset, valid_bytes=base_offset)
     if not raw:
         return scan
     lines = raw.split(b"\n")
@@ -214,9 +216,104 @@ def read_events(path: Union[str, pathlib.Path]) -> JournalScan:
             break
         scan.events.append(event)
         scan.valid_bytes += len(line) + 1
+        scan.event_offsets.append(scan.valid_bytes)
     if scan.events:
         scan.last_seq = int(scan.events[-1].get("seq", len(scan.events) - 1))
     return scan
+
+
+def read_events(path: Union[str, pathlib.Path]) -> JournalScan:
+    """Read a journal, tolerating a crash-truncated final line.
+
+    Raises :class:`TrackingError` only if the file is missing — corruption
+    confined to the tail is expected after a kill and is reported through
+    :attr:`JournalScan.truncated_tail`.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise TrackingError(f"journal {path} does not exist")
+    return _scan_bytes(path.read_bytes(), 0)
+
+
+def read_events_from(
+    path: Union[str, pathlib.Path], offset: int
+) -> JournalScan:
+    """Read a journal from a byte-offset cursor (an event-line boundary).
+
+    The incremental read behind live tailing: a caller that consumed a
+    scan up to ``scan.valid_bytes`` passes that offset back to receive
+    only the events appended since, with the same truncation-tolerant
+    semantics as :func:`read_events`.  An ``offset`` at or past the
+    current end of file yields an empty scan (nothing new yet) — it is
+    NOT an error, because a reader's cursor may race an in-flight append.
+    """
+    if offset < 0:
+        raise TrackingError(f"journal offset must be >= 0, got {offset}")
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise TrackingError(f"journal {path} does not exist")
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        raw = handle.read()
+    return _scan_bytes(raw, offset)
+
+
+def read_tail_events(
+    path: Union[str, pathlib.Path],
+    limit: int,
+    event_type: Optional[str] = None,
+    initial_window: int = 65536,
+) -> JournalScan:
+    """Bounded tail read: the last ``limit`` events without an O(file) scan.
+
+    Reads a window of bytes from the end of the journal (doubling it until
+    ``limit`` matching events are found or the window covers the whole
+    file), so tailing a multi-gigabyte journal costs a few chunk reads
+    instead of parsing every line.  ``event_type`` filters before the
+    limit is applied, matching ``repro runs tail --type``.
+
+    The returned scan's :attr:`JournalScan.events` hold only the final
+    ``limit`` matching events (sequence numbers are therefore not
+    contiguous from 0); :attr:`JournalScan.truncated_tail` reports a
+    partial/corrupt final line exactly like a full scan would.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise TrackingError(f"journal {path} does not exist")
+    if limit < 0:
+        raise TrackingError(f"tail limit must be >= 0, got {limit}")
+    size = path.stat().st_size
+    window = max(4096, initial_window)
+    while True:
+        start = max(0, size - window)
+        with open(path, "rb") as handle:
+            handle.seek(start)
+            raw = handle.read()
+        if start > 0:
+            newline = raw.find(b"\n")
+            if newline < 0:
+                # no complete line inside the window: widen and retry
+                window *= 2
+                continue
+            start += newline + 1
+            raw = raw[newline + 1:]
+        scan = _scan_bytes(raw, start)
+        if event_type is None:
+            keep = list(range(len(scan.events)))
+        else:
+            keep = [
+                i for i, e in enumerate(scan.events)
+                if e.get("type") == event_type
+            ]
+        if len(keep) >= limit or start == 0:
+            keep = keep[-limit:] if limit else []
+            scan.events = [scan.events[i] for i in keep]
+            scan.event_offsets = [scan.event_offsets[i] for i in keep]
+            scan.last_seq = (
+                int(scan.events[-1].get("seq", -1)) if scan.events else -1
+            )
+            return scan
+        window *= 2
 
 
 def verify_sequence(scan: JournalScan) -> None:
@@ -237,5 +334,7 @@ __all__ = [
     "JournalScan",
     "iter_events",
     "read_events",
+    "read_events_from",
+    "read_tail_events",
     "verify_sequence",
 ]

@@ -38,8 +38,11 @@ MANIFEST_NAME = "manifest.json"
 JOURNAL_NAME = "journal.jsonl"
 CHECKPOINT_DIR = "checkpoints"
 
-#: Lifecycle states recorded in ``manifest.json``.
-RUN_STATUSES = ("created", "running", "completed", "failed")
+#: Lifecycle states recorded in ``manifest.json``.  ``queued`` and
+#: ``cancelled`` belong to hub-scheduled runs (:mod:`repro.hub.scheduler`):
+#: queued runs sit in the scheduler's FIFO awaiting the single worker,
+#: cancelled is the terminal state of an operator ``POST /runs/<id>/cancel``.
+RUN_STATUSES = ("created", "queued", "running", "completed", "failed", "cancelled")
 
 _CKPT_PATTERN = re.compile(r"^ckpt-(\d{6})\.json$")
 _ID_SANITIZE = re.compile(r"[^A-Za-z0-9_.+-]+")

@@ -1,0 +1,205 @@
+"""Tests for the PR-9 CLI surface: bounded/live ``runs tail``, the hub
+subcommands and the fleet dashboard."""
+
+import json
+
+import pytest
+
+from repro.cli import _render_live_event, main
+from repro.hub import HubServer
+from repro.tracking import RunStore, read_events
+
+WORKLOAD = "fsrcnn_120x320"
+
+
+@pytest.fixture()
+def tracked_run(tmp_path, capsys):
+    runs_dir = str(tmp_path / "runs")
+    code = main(
+        [
+            "run", "unico", WORKLOAD, "--preset", "smoke", "--seed", "2",
+            "--track", "--runs-dir", runs_dir,
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    run_id = out.split("tracked as run ")[1].splitlines()[0].strip()
+    return runs_dir, run_id
+
+
+@pytest.fixture()
+def hub(tmp_path):
+    server = HubServer(tmp_path / "hubruns", sse_poll_interval_s=0.02)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+class TestBoundedTail:
+    def test_tail_prints_last_n_json_lines(self, tracked_run, capsys):
+        runs_dir, run_id = tracked_run
+        assert main(
+            ["runs", "tail", run_id, "-n", "4", "--runs-dir", runs_dir]
+        ) == 0
+        lines = [
+            l for l in capsys.readouterr().out.splitlines() if l.strip()
+        ]
+        assert len(lines) == 4
+        scan = read_events(RunStore(runs_dir).get(run_id).journal_path)
+        assert [json.loads(l) for l in lines] == scan.events[-4:]
+
+    def test_tail_warns_on_truncated_journal(self, tracked_run, capsys):
+        runs_dir, run_id = tracked_run
+        journal = RunStore(runs_dir).get(run_id).journal_path
+        with open(journal, "ab") as handle:
+            handle.write(b'{"seq": 999, "type": "evalu')
+        assert main(
+            ["runs", "tail", run_id, "-n", "2", "--runs-dir", runs_dir]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "truncated tail" in captured.err
+
+    def test_follow_terminal_run_prints_backlog_and_exits(
+        self, tracked_run, capsys
+    ):
+        runs_dir, run_id = tracked_run
+        assert main(
+            [
+                "runs", "tail", run_id, "-n", "5", "--follow",
+                "--runs-dir", runs_dir,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "run_end" in out
+        assert "(run completed)" in out
+
+
+class TestLiveEventRenderer:
+    def test_iteration_end(self):
+        line = _render_live_event({
+            "seq": 9, "type": "iteration_end",
+            "record": {"iteration": 3, "time_s": 3600.0, "uul": 0.25,
+                       "num_selected": 4, "num_feasible": 6,
+                       "pareto_size": 11, "best_scalar": 0.125},
+        })
+        assert "iteration_end" in line
+        assert "iter   3" in line and "pareto=11" in line
+
+    def test_msh_round(self):
+        line = _render_live_event({
+            "seq": 2, "type": "msh_round", "iteration": 0, "round_index": 1,
+            "candidates": [1, 2, 3], "survivors": [1], "auc_promoted": [],
+        })
+        assert "3 candidates" in line and "1 survivors" in line
+
+    def test_unknown_type_falls_back_to_compact_json(self):
+        line = _render_live_event({"seq": 1, "type": "engine_sample",
+                                   "key": "abc"})
+        assert "engine_sample" in line and "abc" in line
+
+    def test_run_end(self):
+        line = _render_live_event({
+            "seq": 40, "type": "run_end", "completed_iterations": 2,
+            "total_hw_evaluated": 12, "pareto_size": 9,
+            "total_time_s": 360.0,
+        })
+        assert "2 iterations" in line and "pareto=9" in line
+
+
+class TestHubCommands:
+    def test_serve_submit_runs_cancel_flow(self, hub, capsys):
+        # submit through the CLI against the live hub
+        assert main(
+            [
+                "hub", "submit", hub.url, "unico", WORKLOAD,
+                "--preset", "smoke", "--seed", "1",
+            ]
+        ) == 0
+        run_id = capsys.readouterr().out.strip()
+        assert run_id
+
+        assert main(["hub", "runs", hub.url]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out
+
+        # wait for completion, then follow over SSE via the CLI
+        import time
+
+        from repro.hub import HubClient
+
+        with HubClient(hub.url) as client:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if client.get_run(run_id).get("status") in (
+                    "completed", "failed", "cancelled"
+                ):
+                    break
+                time.sleep(0.1)
+        assert main(
+            ["runs", "tail", run_id, "--follow", "--hub", hub.url]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "run_start" in out and "run_end" in out
+
+    def test_cancel_unknown_run_raises(self, hub):
+        from repro.errors import TrackingError
+
+        with pytest.raises(TrackingError):
+            main(["hub", "cancel", hub.url, "no-such-run"])
+
+    def test_submit_bad_spec_raises(self, hub):
+        from repro.errors import TrackingError
+
+        with pytest.raises(TrackingError, match="400"):
+            main(["hub", "submit", hub.url, "unico", "not_a_network"])
+
+
+class TestFleetDashboard:
+    def test_dashboard_without_sources_errors(self, capsys):
+        assert main(["fleet", "status", "--watch"]) == 2
+        assert "needs replica URLs or --hub" in capsys.readouterr().err
+
+    def test_one_shot_dashboard_via_hub(self, tiny_network, tmp_path,
+                                        capsys):
+        from repro.costmodel import MaestroEngine
+        from repro.costmodel.service import PPAServiceServer
+
+        servers = [
+            PPAServiceServer(MaestroEngine(tiny_network)) for _ in range(2)
+        ]
+        for server in servers:
+            server.start()
+        try:
+            urls = [server.url for server in servers]
+            hub = HubServer(tmp_path / "runs", replica_urls=urls)
+            hub.start()
+            try:
+                assert main(["fleet", "status", "--hub", hub.url]) == 0
+            finally:
+                hub.stop()
+            out = capsys.readouterr().out
+            assert "2/2 replicas up" in out
+            for url in urls:
+                assert url.split("//")[1] in out
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_one_shot_dashboard_exits_nonzero_on_down_replica(
+        self, tiny_network, capsys
+    ):
+        from repro.costmodel import MaestroEngine
+        from repro.costmodel.service import PPAServiceServer
+
+        server = PPAServiceServer(MaestroEngine(tiny_network))
+        server.start()
+        try:
+            # without --watch/--hub the original per-URL health check
+            # still runs, and a down replica still fails the exit code
+            assert main(
+                ["fleet", "status", server.url, "http://127.0.0.1:9"]
+            ) == 1
+        finally:
+            server.stop()

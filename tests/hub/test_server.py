@@ -1,0 +1,217 @@
+"""Tests for the hub HTTP control plane, including the SSE acceptance test:
+a stream with a forced mid-run disconnect plus ``Last-Event-ID`` reconnect
+must be byte-identical to a post-hoc ``read_events`` scan of the journal."""
+
+import json
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.errors import TrackingError
+from repro.hub import HubClient, HubServer
+from repro.hub.sse import parse_sse_lines
+from repro.tracking import RunStore, read_events
+
+SMOKE_SPEC = {
+    "method": "unico",
+    "scenario": "edge",
+    "workload": "fsrcnn_120x320",
+    "preset": "smoke",
+    "seed": 0,
+}
+
+
+@pytest.fixture
+def hub(tmp_path):
+    server = HubServer(tmp_path / "runs", sse_poll_interval_s=0.02)
+    server.start()
+    client = HubClient(server.url)
+    try:
+        yield server, client
+    finally:
+        client.close()
+        server.stop()
+
+
+def wait_terminal(client, run_id, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status = client.get_run(run_id).get("status")
+        if status in ("completed", "failed", "cancelled"):
+            return status
+        time.sleep(0.1)
+    raise AssertionError("run never reached a terminal status")
+
+
+class TestEndpoints:
+    def test_health(self, hub):
+        _server, client = hub
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["runs"] == 0
+
+    def test_unknown_run_404(self, hub):
+        _server, client = hub
+        with pytest.raises(TrackingError, match="404"):
+            client.get_run("no-such-run")
+
+    def test_bad_spec_is_400_not_a_failed_run(self, hub):
+        _server, client = hub
+        with pytest.raises(TrackingError, match="400"):
+            client.submit(dict(SMOKE_SPEC, scenario="A"))
+        assert client.list_runs()["runs"] == []
+
+    def test_cancel_unknown_run_conflict(self, hub):
+        _server, client = hub
+        with pytest.raises(TrackingError, match=r"40[49]"):
+            client.cancel("no-such-run")
+
+    def test_submit_run_lists_and_completes(self, hub):
+        _server, client = hub
+        run_id = client.submit(dict(SMOKE_SPEC))
+        assert wait_terminal(client, run_id) == "completed"
+        rows = client.list_runs()["runs"]
+        assert [r["run_id"] for r in rows] == [run_id]
+        assert rows[0]["status"] == "completed"
+        assert rows[0]["submitted_via"] == "hub"
+
+    def test_prometheus_metrics_parse_strictly(self, hub):
+        from repro.obs.prom import parse_prometheus_text
+
+        server, client = hub
+        client.health()
+        pool_response = None
+        from repro.fleet.pool import ConnectionPool
+
+        pool = ConnectionPool(server.url)
+        try:
+            pool_response = pool.request("GET", "/metrics?format=prom")
+        finally:
+            pool.close()
+        assert pool_response.status == 200, pool_response.body
+        families = parse_prometheus_text(pool_response.body.decode("utf-8"))
+        assert "hub_requests_total" in families, (
+            pool_response.body, server.metrics.snapshot()
+        )
+
+    def test_draining_hub_rejects_with_503(self, hub):
+        server, client = hub
+        server.begin_drain()
+        with pytest.raises(TrackingError, match="503"):
+            client.health()
+
+    def test_fleet_endpoints_404_without_replicas(self, hub):
+        _server, client = hub
+        with pytest.raises(TrackingError, match="404"):
+            client.fleet_status()
+
+
+def read_sse_frames(host, port, run_id, cursor=None, max_events=None):
+    """Raw SSE consumption so tests control disconnects precisely.
+
+    Returns ``(frames, last_id, finished)`` where frames are the raw data
+    payloads in order.
+    """
+    connection = HTTPConnection(host, port, timeout=60)
+    frames, last_id, finished = [], cursor, False
+    try:
+        headers = {}
+        if cursor is not None:
+            headers["Last-Event-ID"] = str(cursor)
+        connection.request("GET", f"/runs/{run_id}/events", headers=headers)
+        response = connection.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "text/event-stream"
+
+        def lines():
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                yield line.decode("utf-8").rstrip("\r\n")
+
+        for sse in parse_sse_lines(lines()):
+            if sse.event == "end_of_stream":
+                finished = True
+                break
+            frames.append(sse.data)
+            last_id = int(sse.event_id)
+            if max_events is not None and len(frames) >= max_events:
+                break  # force mid-stream disconnect
+    finally:
+        connection.close()
+    return frames, last_id, finished
+
+
+class TestSSEAcceptance:
+    def test_disconnect_and_resume_is_byte_identical(self, hub):
+        """Acceptance: forced mid-run disconnect + Last-Event-ID reconnect
+        yields the exact event sequence a post-hoc read_events scan sees,
+        down to the bytes."""
+        server, client = hub
+        host, port = server.address
+        run_id = client.submit(dict(SMOKE_SPEC))
+
+        # leg 1: connect while the run is live, drop after 3 events
+        first, cursor, finished = read_sse_frames(
+            host, port, run_id, max_events=3
+        )
+        assert len(first) == 3 and not finished
+
+        # leg 2: reconnect exactly where we left off, drain to the end
+        second, _cursor, finished = read_sse_frames(
+            host, port, run_id, cursor=cursor
+        )
+        assert finished
+
+        streamed = first + second
+        run = RunStore(server.store.root).get(run_id)
+        scan = read_events(run.journal_path)
+        assert not scan.truncated_tail
+        assert [json.loads(raw) for raw in streamed] == scan.events
+        # byte-identity: journal lines travel verbatim, so rejoining the
+        # streamed payloads reconstructs the journal file exactly
+        reconstructed = ("\n".join(streamed) + "\n").encode("utf-8")
+        assert reconstructed == run.journal_path.read_bytes()
+
+    def test_resume_past_everything_gets_end_of_stream(self, hub):
+        server, client = hub
+        host, port = server.address
+        run_id = client.submit(dict(SMOKE_SPEC))
+        wait_terminal(client, run_id)
+        run = RunStore(server.store.root).get(run_id)
+        size = run.journal_path.stat().st_size
+        frames, _cursor, finished = read_sse_frames(
+            host, port, run_id, cursor=size
+        )
+        assert frames == [] and finished
+
+    def test_bad_cursor_is_400(self, hub):
+        server, client = hub
+        run_id = client.submit(dict(SMOKE_SPEC))
+        wait_terminal(client, run_id)
+        connection = HTTPConnection(*server.address, timeout=10)
+        try:
+            connection.request(
+                "GET", f"/runs/{run_id}/events",
+                headers={"Last-Event-ID": "not-a-number"},
+            )
+            assert connection.getresponse().status == 400
+        finally:
+            connection.close()
+
+    def test_client_generator_reconnects_transparently(self, hub):
+        """HubClient.stream_events hides the reconnect loop: events arrive
+        exactly once and in order even when consumed across a run's life."""
+        server, client = hub
+        run_id = client.submit(dict(SMOKE_SPEC))
+        events = list(client.stream_events(run_id))
+        run = RunStore(server.store.root).get(run_id)
+        scan = read_events(run.journal_path)
+        assert [e.event for e in events] == scan.events
+        assert [e.raw for e in events] == [
+            line.decode("utf-8")
+            for line in run.journal_path.read_bytes().splitlines()
+        ]
+        assert events[-1].type == "run_end"

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.obs.prom import (
+    help_for,
     parse_prometheus_text,
     render_prometheus,
     sanitize_metric_name,
@@ -77,6 +78,94 @@ class TestRender:
         ((_, labels, value),) = families["weird"]["samples"]
         assert labels["path"] == '/path"with\\quotes'
         assert value == 1
+
+
+class TestHelpLines:
+    def test_known_families_get_help(self):
+        text = render_prometheus(make_registry().snapshot())
+        assert "# HELP engine_queries_total" not in text  # not in registry
+        # families with registry entries get their HELP line
+        assert help_for("engine_queries_total")
+        registry = MetricsRegistry()
+        registry.counter("engine_queries_total").inc()
+        text = render_prometheus(registry.snapshot())
+        assert text.startswith("# HELP engine_queries_total ")
+        assert "# TYPE engine_queries_total counter" in text
+
+    def test_unknown_family_renders_without_help(self):
+        registry = MetricsRegistry()
+        registry.counter("bespoke_metric_total").inc()
+        text = render_prometheus(registry.snapshot())
+        assert "# HELP" not in text
+        assert "# TYPE bespoke_metric_total counter" in text
+
+    def test_parser_captures_help_text(self):
+        registry = MetricsRegistry()
+        registry.counter("engine_queries_total").inc(2)
+        families = parse_prometheus_text(
+            render_prometheus(registry.snapshot())
+        )
+        assert families["engine_queries_total"]["help"] == help_for(
+            "engine_queries_total"
+        )
+
+    def test_custom_help_escapes_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total").inc()
+        text = render_prometheus(
+            registry.snapshot(),
+            help_text={"odd_total": "line one\nline two \\ backslash"},
+        )
+        assert "\n# TYPE" in text  # HELP stays one physical line
+        families = parse_prometheus_text(text)
+        assert families["odd_total"]["help"] == (
+            "line one\nline two \\ backslash"
+        )
+
+
+class TestLabelEscapingRoundTrips:
+    """Satellite acceptance: quotes, backslashes and newlines in label
+    values must survive exposition → strict parse → re-exposition."""
+
+    HOSTILE_VALUES = (
+        'quote " inside',
+        "back\\slash",
+        "new\nline",
+        'all \\ of " them\ntogether',
+        "\\n literal-backslash-n",
+        'trailing backslash \\',
+    )
+
+    @pytest.mark.parametrize("value", HOSTILE_VALUES)
+    def test_value_survives_parse(self, value):
+        registry = MetricsRegistry()
+        registry.counter(f"weird[{value}]").inc(2)
+        text = render_prometheus(registry.snapshot())
+        families = parse_prometheus_text(text)
+        ((_, labels, count),) = families["weird"]["samples"]
+        assert labels["path"] == value
+        assert count == 2
+
+    def test_exposition_fixpoint(self):
+        """Render → parse → render again is byte-identical (escaping is
+        its own inverse, not merely lossless)."""
+        registry = MetricsRegistry()
+        for value in self.HOSTILE_VALUES:
+            registry.counter(f"weird[{value}]").inc()
+        first = render_prometheus(registry.snapshot())
+        families = parse_prometheus_text(first)
+        rebuilt = MetricsRegistry()
+        for _name, labels, value in families["weird"]["samples"]:
+            rebuilt.counter(f"weird[{labels['path']}]").inc(int(value))
+        assert render_prometheus(rebuilt.snapshot()) == first
+
+    def test_each_sample_is_one_physical_line(self):
+        registry = MetricsRegistry()
+        registry.counter("weird[new\nline]").inc()
+        text = render_prometheus(registry.snapshot())
+        lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+        assert len(lines) == 1
+        assert '\\n' in lines[0]
 
 
 class TestParser:

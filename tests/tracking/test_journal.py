@@ -8,8 +8,16 @@ from repro.errors import TrackingError
 from repro.tracking.journal import (
     EventJournal,
     read_events,
+    read_events_from,
+    read_tail_events,
     verify_sequence,
 )
+
+
+def write_journal(path, count):
+    with EventJournal(path) as journal:
+        for i in range(count):
+            journal.append("evaluation", {"iteration": i})
 
 
 class TestAppendRead:
@@ -161,6 +169,137 @@ class TestResumeSequencing:
         )
         with pytest.raises(TrackingError):
             verify_sequence(read_events(path))
+
+
+class TestCursorReads:
+    """read_events_from: the incremental (SSE/tail --follow) read path."""
+
+    def test_offset_zero_matches_full_scan(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, 4)
+        full = read_events(path)
+        partial = read_events_from(path, 0)
+        assert partial.events == full.events
+        assert partial.event_offsets == full.event_offsets
+        assert partial.valid_bytes == full.valid_bytes
+
+    def test_event_offsets_slice_back_to_exact_lines(self, tmp_path):
+        """Each offset points just past its event's line — the property
+        the hub's SSE byte-identity guarantee is built on."""
+        path = tmp_path / "j.jsonl"
+        write_journal(path, 5)
+        raw = path.read_bytes()
+        scan = read_events(path)
+        previous = 0
+        for event, end in zip(scan.events, scan.event_offsets):
+            line = raw[previous:end]
+            assert line.endswith(b"\n")
+            assert json.loads(line) == event
+            previous = end
+
+    def test_resume_from_cursor_yields_exact_remainder(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, 6)
+        full = read_events(path)
+        cursor = full.event_offsets[2]  # consumed the first three events
+        rest = read_events_from(path, cursor)
+        assert rest.start_offset == cursor
+        assert rest.events == full.events[3:]
+        assert rest.event_offsets == full.event_offsets[3:]
+        assert rest.valid_bytes == full.valid_bytes
+
+    def test_offset_at_eof_is_empty_not_error(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, 2)
+        scan = read_events_from(path, path.stat().st_size)
+        assert scan.events == []
+        assert scan.valid_bytes == path.stat().st_size
+        assert not scan.truncated_tail
+
+    def test_negative_offset_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, 1)
+        with pytest.raises(TrackingError):
+            read_events_from(path, -1)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TrackingError):
+            read_events_from(tmp_path / "nope.jsonl", 0)
+
+    def test_sees_truncated_tail_past_cursor(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, 2)
+        cursor = read_events(path).valid_bytes
+        with open(path, "ab") as handle:
+            handle.write(b'{"seq": 2, "type": "evalua')
+        scan = read_events_from(path, cursor)
+        assert scan.events == []
+        assert scan.truncated_tail
+        assert scan.valid_bytes == cursor
+
+
+class TestTailReads:
+    """read_tail_events: bounded backward reads for ``repro runs tail``."""
+
+    def test_returns_last_n_events(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, 20)
+        scan = read_tail_events(path, 5)
+        assert [e["iteration"] for e in scan.events] == [15, 16, 17, 18, 19]
+        assert scan.last_seq == 19
+
+    def test_limit_beyond_length_returns_all(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, 3)
+        scan = read_tail_events(path, 100)
+        assert len(scan.events) == 3
+
+    def test_zero_limit_returns_nothing(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, 3)
+        assert read_tail_events(path, 0).events == []
+
+    def test_small_window_widens_until_satisfied(self, tmp_path):
+        """With a window smaller than one line the reader must double its
+        way back instead of returning short."""
+        path = tmp_path / "j.jsonl"
+        write_journal(path, 50)
+        scan = read_tail_events(path, 30, initial_window=1)
+        assert [e["iteration"] for e in scan.events] == list(range(20, 50))
+
+    def test_matches_full_scan_suffix(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, 40)
+        full = read_events(path)
+        tail = read_tail_events(path, 7, initial_window=256)
+        assert tail.events == full.events[-7:]
+        assert tail.event_offsets == full.event_offsets[-7:]
+
+    def test_event_type_filter_applies_before_limit(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with EventJournal(path) as journal:
+            for i in range(10):
+                journal.append("evaluation", {"iteration": i})
+                journal.append("pareto_update", {"pareto_size": i})
+        scan = read_tail_events(path, 3, event_type="pareto_update",
+                                initial_window=64)
+        assert [e["pareto_size"] for e in scan.events] == [7, 8, 9]
+        assert all(e["type"] == "pareto_update" for e in scan.events)
+
+    def test_truncated_tail_still_reported(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, 8)
+        with open(path, "ab") as handle:
+            handle.write(b'{"seq": 8, "type": "evalua')
+        scan = read_tail_events(path, 3)
+        assert scan.truncated_tail
+        assert [e["iteration"] for e in scan.events] == [5, 6, 7]
+
+    def test_negative_limit_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, 1)
+        with pytest.raises(TrackingError):
+            read_tail_events(path, -1)
 
 
 class TestConcurrency:
