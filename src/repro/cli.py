@@ -10,11 +10,16 @@ Commands
 * ``serve`` — expose a PPA estimation engine as the Section 3.5 REST
   service (for master-slave deployments).
 * ``fleet`` — run N sharded service replicas under one supervisor
-  (``fleet serve``), or check the health of running replicas
-  (``fleet status``; add ``--watch`` for a live scrape-based dashboard).
+  (``fleet serve``), check the health of running replicas
+  (``fleet status``; add ``--watch`` for a live scrape-based dashboard),
+  or watch the full telemetry dashboard with sparkline history and SLO
+  alerts (``fleet top``, local scrape loop or ``--hub`` mirror).
 * ``hub`` — the control-plane service (``hub serve``): run lifecycle
   endpoints, live SSE journal streaming and fleet-wide metrics
-  aggregation, plus thin clients (``hub submit``/``runs``/``cancel``).
+  aggregation (add ``--telemetry`` for the scrape loop + alert rules),
+  plus thin clients (``hub submit``/``runs``/``cancel``).
+* ``obs`` — query (``obs query``) or export (``obs export``) the
+  telemetry metrics store, locally or via a running hub.
 * ``runs tail`` — a run's last journal events (bounded read), or a live
   typed feed with ``--follow`` (local polling or hub SSE via ``--hub``).
 * ``stats`` — query a running PPA service's ``GET /metrics`` endpoint and
@@ -302,6 +307,11 @@ def _cmd_runs_profile(args) -> int:
     print(f"run {run.run_id}: {profile.num_spans} spans, "
           f"{profile.total_wall_s:.2f}s wall, "
           f"{profile.total_sim_s / 3600.0:.2f}h simulated")
+    if not profile.total_evals:
+        print(
+            "no engine-eval spans recorded — evals/s not available "
+            "(the run traced phases but performed no PPA evaluations)"
+        )
     print(render_profile(profile))
     return 0
 
@@ -714,6 +724,231 @@ def _cmd_fleet_status(args) -> int:
     return 1 if failures else 0
 
 
+#: bar glyphs for terminal sparklines, lowest to highest
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list, width: int = 32) -> str:
+    """Render a value history as a unicode sparkline (scaled to its max)."""
+    values = list(values)[-width:]
+    if not values:
+        return ""
+    top = max(values)
+    if top <= 0.0:
+        return _SPARK_GLYPHS[0] * len(values)
+    return "".join(
+        _SPARK_GLYPHS[
+            min(int(v / top * (len(_SPARK_GLYPHS) - 1) + 0.5),
+                len(_SPARK_GLYPHS) - 1)
+        ]
+        for v in values
+    )
+
+
+def _rate_history(points: list, limit: int = 32) -> list:
+    """Per-sample counter rates from ``(t, value)`` points (reset-aware)."""
+    rates = []
+    for (t0, v0), (t1, v1) in zip(points, points[1:]):
+        dt = t1 - t0
+        if dt <= 0.0:
+            continue
+        delta = v1 - v0
+        # a counter that fell restarted; show its post-reset value as growth
+        rates.append((delta if delta >= 0.0 else v1) / dt)
+    return rates[-limit:]
+
+
+def _render_fleet_top(store, active_alerts: list) -> str:
+    """One frame of the ``repro fleet top`` dashboard from the store."""
+    lines = []
+    replicas = [t for t in store.targets() if t.startswith("replica:")]
+    fleet_latest = store.latest("fleet")
+    if fleet_latest is not None:
+        up = fleet_latest[1].get("replicas_up", 0.0)
+        total = fleet_latest[1].get("replicas_total", 0.0)
+        fleet_rates = _rate_history(
+            store.series("fleet", "engine_queries_total")
+        )
+        lines.append(
+            f"fleet: {up:g}/{total:g} replicas up   "
+            f"evals/s {fleet_rates[-1] if fleet_rates else 0.0:7.1f}  "
+            f"{_sparkline(fleet_rates)}"
+        )
+        lines.append("")
+    lines.append(
+        f"{'replica':<24} {'state':<6} {'evals/s':>8}  "
+        f"{'history':<32} {'errors':>7}"
+    )
+    for target in replicas:
+        latest = store.latest(target)
+        series = latest[1] if latest is not None else {}
+        if series.get("up", 0.0) < 1.0:
+            lines.append(f"{target:<24} {'DOWN':<6}")
+            continue
+        rates = _rate_history(
+            store.series(target, "engine_queries_total")
+        )
+        lines.append(
+            f"{target:<24} {'up':<6} "
+            f"{rates[-1] if rates else 0.0:>8.1f}  "
+            f"{_sparkline(rates):<32} "
+            f"{series.get('service_errors_total', 0.0):>7g}"
+        )
+    runs = [t for t in store.targets() if t.startswith("run:")]
+    for target in runs:
+        latest = store.latest(target)
+        series = latest[1] if latest is not None else {}
+        hv_points = store.series(target, "search_hypervolume")
+        lines.append("")
+        lines.append(
+            f"{target}: iter {series.get('search_iteration', 0.0):g}  "
+            f"pareto {series.get('search_pareto_size', 0.0):g}  "
+            f"HV {series.get('search_hypervolume', 0.0):.4g}  "
+            f"{_sparkline([v for _t, v in hv_points])}"
+        )
+    lines.append("")
+    if active_alerts:
+        lines.append("alerts:")
+        for alert in active_alerts:
+            value = alert.get("value")
+            lines.append(
+                f"  {alert.get('state', '?'):<8} "
+                f"{alert.get('rule', '?'):<22} {alert.get('target', '?'):<24} "
+                f"{value if value is not None else '-'}"
+            )
+    else:
+        lines.append("alerts: none")
+    return "\n".join(lines)
+
+
+def _cmd_fleet_top(args) -> int:
+    """Live fleet dashboard: local scrape loop or a hub's telemetry store."""
+    import time as _time
+
+    from repro.obs.timeseries import MetricsStore
+
+    client = None
+    pipeline = None
+    if args.hub:
+        from repro.hub import HubClient
+
+        client = HubClient(args.hub, timeout_s=args.timeout)
+        # mirror the hub's store incrementally via byte cursors so the
+        # sparklines have history without re-downloading every frame
+        mirror = MetricsStore()
+        cursors: dict = {}
+
+        def _frame() -> str:
+            for target in client.obs_targets()["targets"]:
+                reply = client.obs_export(
+                    target, after=cursors.get(target, 0)
+                )
+                for sample in reply["samples"]:
+                    mirror.append(target, sample["t"], sample["s"])
+                cursors[target] = reply["cursor"]
+            return _render_fleet_top(mirror, client.alerts()["active"])
+    else:
+        if not args.urls:
+            print("error: fleet top needs replica URLs or --hub",
+                  file=sys.stderr)
+            return 2
+        from repro.hub import TelemetryPipeline
+
+        # in-memory store: the dashboard is ephemeral by design
+        pipeline = TelemetryPipeline(
+            replica_urls=args.urls,
+            store=None,
+            interval_s=args.interval,
+            scrape_timeout_s=args.timeout,
+        )
+
+        def _frame() -> str:
+            pipeline.tick()
+            return _render_fleet_top(
+                pipeline.store, pipeline.alerts.active()
+            )
+
+    iterations = 0
+    try:
+        while True:
+            text = _frame()
+            if not args.no_clear:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(text, flush=True)
+            iterations += 1
+            if args.iterations and iterations >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        if client is not None:
+            client.close()
+        if pipeline is not None:
+            pipeline.stop()
+
+
+# ---------------------------------------------------------------------- obs
+def _obs_store(args):
+    from repro.obs.timeseries import MetricsStore
+
+    return MetricsStore(args.obs_dir)
+
+
+def _cmd_obs_targets(args) -> int:
+    if args.hub:
+        from repro.hub import HubClient
+
+        with HubClient(args.hub) as client:
+            targets = client.obs_targets()["targets"]
+    else:
+        targets = _obs_store(args).targets()
+    for target in targets:
+        print(target)
+    return 0
+
+
+def _cmd_obs_query(args) -> int:
+    if args.hub:
+        from repro.hub import HubClient
+
+        with HubClient(args.hub) as client:
+            reply = client.obs_query(
+                args.target, args.series, fn=args.query_fn,
+                window_s=args.window, q=args.q,
+            )
+        value = reply.get("value")
+    else:
+        value = _obs_store(args).query(
+            args.target, args.series, fn=args.query_fn,
+            window_s=args.window, q=args.q,
+        )
+    if value is None:
+        print(f"(series {args.series!r} never seen on {args.target!r})",
+              file=sys.stderr)
+        return 1
+    print(f"{value:g}")
+    return 0
+
+
+def _cmd_obs_export(args) -> int:
+    """Dump a target's raw samples as JSONL (incremental via --after)."""
+    if args.hub:
+        from repro.hub import HubClient
+
+        with HubClient(args.hub) as client:
+            reply = client.obs_export(args.target, after=args.after)
+        samples = [(s["t"], s["s"]) for s in reply["samples"]]
+        cursor = reply["cursor"]
+    else:
+        samples, scan = _obs_store(args).read_from(args.target, args.after)
+        cursor = scan.valid_bytes
+    for t, series in samples:
+        print(json.dumps({"t": t, "s": series}, sort_keys=True))
+    print(f"cursor: {cursor}", file=sys.stderr)
+    return 0
+
+
 def _cmd_hub_serve(args) -> int:
     import threading
     import time as _time
@@ -725,6 +960,9 @@ def _cmd_hub_serve(args) -> int:
         replica_urls=args.replicas or None,
         host=args.host,
         port=args.port,
+        telemetry=args.telemetry,
+        scrape_interval_s=args.scrape_interval,
+        obs_dir=args.obs_dir,
     )
     server.start()
     stopped = threading.Event()
@@ -733,6 +971,12 @@ def _cmd_hub_serve(args) -> int:
     if args.replicas:
         print(f"aggregating {len(args.replicas)} replicas "
               "at /fleet/metrics and /fleet/status")
+    if args.telemetry:
+        print(
+            f"telemetry: scraping every {args.scrape_interval:g}s into "
+            f"{server.telemetry.store.root} (/alerts, /alerts/events, "
+            "/obs/query)"
+        )
     print("endpoints: /runs /runs/<id>/events (SSE) /metrics /health; "
           "Ctrl-C drains and stops.")
     try:
@@ -1168,6 +1412,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="refresh period for --watch, in seconds",
     )
     fleet_status.set_defaults(fn=_cmd_fleet_status)
+    fleet_top = fleet_sub.add_parser(
+        "top",
+        help="live telemetry dashboard with sparkline history and alerts",
+    )
+    fleet_top.add_argument("urls", nargs="*")
+    fleet_top.add_argument(
+        "--hub", default=None, metavar="URL",
+        help="mirror a hub's telemetry store instead of scraping replicas",
+    )
+    fleet_top.add_argument("--timeout", type=float, default=5.0)
+    fleet_top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period in seconds",
+    )
+    fleet_top.add_argument(
+        "--iterations", type=int, default=0,
+        help="render this many frames then exit (0 = until Ctrl-C)",
+    )
+    fleet_top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (for logs)",
+    )
+    fleet_top.set_defaults(fn=_cmd_fleet_top)
 
     hub_parser = sub.add_parser(
         "hub", help="run or talk to the control-plane hub"
@@ -1183,6 +1450,18 @@ def build_parser() -> argparse.ArgumentParser:
     hub_serve.add_argument(
         "--replicas", nargs="*", default=[], metavar="URL",
         help="PPA-service replica URLs to aggregate at /fleet/*",
+    )
+    hub_serve.add_argument(
+        "--telemetry", action="store_true",
+        help="run the scrape loop + SLO alerting (/alerts, /obs/*)",
+    )
+    hub_serve.add_argument(
+        "--scrape-interval", type=float, default=2.0,
+        help="telemetry scrape period in seconds",
+    )
+    hub_serve.add_argument(
+        "--obs-dir", default=None,
+        help="metrics-store directory (default: <runs-dir>/obs)",
     )
     hub_serve.set_defaults(fn=_cmd_hub_serve)
     hub_submit = hub_sub.add_parser(
@@ -1216,6 +1495,48 @@ def build_parser() -> argparse.ArgumentParser:
     hub_resume.add_argument("hub")
     hub_resume.add_argument("run_id")
     hub_resume.set_defaults(fn=_cmd_hub_resume)
+
+    obs_parser = sub.add_parser(
+        "obs", help="query or export the telemetry metrics store"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_targets = obs_sub.add_parser(
+        "targets", help="list targets with recorded samples"
+    )
+    obs_query = obs_sub.add_parser(
+        "query", help="evaluate one windowed query over a series"
+    )
+    obs_query.add_argument("target", help="e.g. replica:127.0.0.1:9001, fleet")
+    obs_query.add_argument("series", help="e.g. engine_queries_total")
+    obs_query.add_argument(
+        # dest must not be "fn": that slot holds the subcommand handler
+        "--fn", dest="query_fn", default="last",
+        choices=("last", "avg", "max", "min", "rate", "increase", "quantile"),
+    )
+    obs_query.add_argument("--window", type=float, default=60.0,
+                           help="trailing window in seconds")
+    obs_query.add_argument("--q", type=float, default=None,
+                           help="quantile in [0,1] (fn=quantile)")
+    obs_export = obs_sub.add_parser(
+        "export", help="dump a target's raw samples as JSONL"
+    )
+    obs_export.add_argument("target")
+    obs_export.add_argument(
+        "--after", type=int, default=0,
+        help="byte cursor from a previous export (incremental)",
+    )
+    for obs_cmd in (obs_targets, obs_query, obs_export):
+        obs_cmd.add_argument(
+            "--obs-dir", default="runs/obs",
+            help="local metrics-store directory",
+        )
+        obs_cmd.add_argument(
+            "--hub", default=None, metavar="URL",
+            help="ask a running hub instead of reading a local store",
+        )
+    obs_targets.set_defaults(fn=_cmd_obs_targets)
+    obs_query.set_defaults(fn=_cmd_obs_query)
+    obs_export.set_defaults(fn=_cmd_obs_export)
 
     stats_parser = sub.add_parser(
         "stats", help="summarize a running PPA service's /metrics"

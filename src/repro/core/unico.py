@@ -35,6 +35,7 @@ from repro.core.highfidelity import (
 from repro.core.runner import BACKENDS as RUNNER_BACKENDS
 from repro.core.runner import JobRunner
 from repro.errors import ConfigurationError
+from repro.optim.hypervolume import hypervolume, reference_point_from
 from repro.optim.mobo import MOBOSampler
 from repro.optim.pareto import ObjectiveNormalizer
 from repro.optim.sh import (
@@ -336,6 +337,41 @@ class Unico(CoOptimizer):
                 round_span.set_attribute("survivors", len(survivors))
                 active = survivors
 
+    # ------------------------------------------------------------ telemetry
+    def _search_health(self) -> dict:
+        """The per-iteration ``search_health`` beacon payload.
+
+        Hypervolume is measured against a reference point frozen at the
+        first non-empty front, so the series is monotone non-decreasing
+        within a run and a flat window genuinely means "no progress" —
+        the signal the hub's ``hv_stall`` rule watches.  Only assembled
+        when a tracker is enabled; an untracked search pays nothing.
+        """
+        points = self.pareto.points
+        hv = 0.0
+        if len(points):
+            reference = getattr(self, "_hv_reference", None)
+            if reference is None:
+                reference = reference_point_from(points)
+                self._hv_reference = reference
+            hv = float(hypervolume(points, reference))
+        health = {
+            "hypervolume": hv,
+            "pareto_size": len(self.pareto),
+            "engine_queries": int(getattr(self.engine, "num_queries", 0)),
+            "evaluations": len(self.evaluations),
+            "time_s": float(self.clock.now_s),
+        }
+        screen_stats = getattr(self.engine, "screen_stats", None)
+        if screen_stats is not None:
+            stats = screen_stats()
+            health["screening"] = {
+                "candidates_seen": int(stats.get("candidates_seen", 0)),
+                "forwarded": int(stats.get("forwarded", 0)),
+                "escalated": int(stats.get("escalated", 0)),
+            }
+        return health
+
     # ----------------------------------------------------------------- driver
     def optimize(self) -> CoSearchResult:
         config = self.config
@@ -434,6 +470,10 @@ class Unico(CoOptimizer):
                     self.completed_iterations = iteration + 1
                     iteration_span.set_attribute("pareto_size", len(self.pareto))
                     self.tracker.on_iteration_end(self, record)
+                    if self.tracker.enabled:
+                        self.tracker.on_search_health(
+                            self, iteration, self._search_health()
+                        )
             run_span.set_attribute("iterations", len(self.iteration_records))
             run_span.set_attribute("pareto_size", len(self.pareto))
         extras = {

@@ -19,7 +19,12 @@ observable system:
 * :mod:`repro.hub.server` — the HTTP control plane tying them together
   (``POST /runs``, ``GET /runs/<id>/events`` SSE, ``GET /fleet/metrics``);
 * :mod:`repro.hub.client` — the pooled client behind
-  ``repro runs tail --follow`` and ``repro fleet status --watch``.
+  ``repro runs tail --follow`` and ``repro fleet status --watch``;
+* :mod:`repro.hub.telemetry` — the scrape loop: poll every replica's
+  ``/metrics`` on an interval into a crash-safe
+  :class:`~repro.obs.timeseries.MetricsStore`, evaluate SLO rules
+  (:mod:`repro.obs.alerts`) each tick, journal alert transitions for
+  ``GET /alerts`` + SSE and ``repro fleet top``.
 """
 
 from repro.hub.aggregate import FleetAggregator, ReplicaScrape
@@ -27,6 +32,7 @@ from repro.hub.client import HubClient, StreamedEvent
 from repro.hub.scheduler import RunScheduler
 from repro.hub.server import HubServer
 from repro.hub.sse import SSEEvent, format_sse_event, parse_sse_lines
+from repro.hub.telemetry import TelemetryPipeline, replica_target
 
 __all__ = [
     "FleetAggregator",
@@ -36,6 +42,8 @@ __all__ = [
     "RunScheduler",
     "SSEEvent",
     "StreamedEvent",
+    "TelemetryPipeline",
     "format_sse_event",
     "parse_sse_lines",
+    "replica_target",
 ]

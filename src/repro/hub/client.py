@@ -22,7 +22,7 @@ import time
 from dataclasses import dataclass
 from http.client import HTTPConnection, HTTPException
 from typing import Dict, Iterator, Optional
-from urllib.parse import urlsplit
+from urllib.parse import quote, urlsplit
 
 from repro.errors import TrackingError, TransportError
 from repro.fleet.pool import ConnectionPool
@@ -136,6 +136,80 @@ class HubClient:
 
     def fleet_metrics(self) -> str:
         return self._request_text("/fleet/metrics")
+
+    # -- telemetry --------------------------------------------------------------
+    def alerts(self) -> Dict:
+        """Active + historical SLO alerts and the rules in force."""
+        return self._request("GET", "/alerts")
+
+    def obs_targets(self) -> Dict:
+        return self._request("GET", "/obs/targets")
+
+    def obs_query(
+        self,
+        target: str,
+        series: str,
+        fn: str = "last",
+        window_s: float = 60.0,
+        q: Optional[float] = None,
+    ) -> Dict:
+        """One windowed query against the hub's telemetry store."""
+        path = (
+            f"/obs/query?target={quote(target, safe='')}"
+            f"&series={quote(series, safe='')}"
+            f"&fn={quote(fn, safe='')}&window_s={window_s}"
+        )
+        if q is not None:
+            path += f"&q={q}"
+        return self._request("GET", path)
+
+    def obs_export(self, target: str, after: int = 0) -> Dict:
+        """Raw samples of one target past a byte cursor (incremental)."""
+        return self._request(
+            "GET",
+            f"/obs/export?target={quote(target, safe='')}&after={after}",
+        )
+
+    def stream_alerts(
+        self,
+        last_event_id: Optional[int] = None,
+        stream_timeout_s: Optional[float] = None,
+    ) -> Iterator[StreamedEvent]:
+        """Yield alert transitions live over one SSE connection.
+
+        Ends when the hub drains (it closes the stream); each event's
+        ``offset`` is the alert journal's byte cursor, so a caller can
+        resume a new stream exactly where this one stopped.
+        """
+        timeout = (
+            stream_timeout_s if stream_timeout_s is not None
+            else max(self.timeout_s, 30.0)
+        )
+        connection = HTTPConnection(self._host, self._port, timeout=timeout)
+        try:
+            headers = {"Accept": "text/event-stream"}
+            if last_event_id is not None:
+                headers["Last-Event-ID"] = str(last_event_id)
+            connection.request("GET", "/alerts/events", headers=headers)
+            response = connection.getresponse()
+            if response.status != 200:
+                body = response.read()
+                raise TrackingError(
+                    f"hub rejected alert stream "
+                    f"({response.status}): {body[:200]!r}"
+                )
+            for sse in parse_sse_lines(_iter_lines(response)):
+                offset = (
+                    int(sse.event_id) if sse.event_id is not None else None
+                )
+                yield StreamedEvent(
+                    raw=sse.data,
+                    offset=offset,
+                    type=sse.event,
+                    event=_maybe_json(sse.data),
+                )
+        finally:
+            connection.close()
 
     # -- SSE --------------------------------------------------------------------
     def stream_events(

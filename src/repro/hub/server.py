@@ -14,7 +14,18 @@ fleet (via a :class:`~repro.hub.aggregate.FleetAggregator`):
 ``GET  /metrics``         the hub's own registry (``?format=prom`` for text)
 ``GET  /fleet/metrics``   aggregated fleet exposition (Prometheus text)
 ``GET  /fleet/status``    structured fleet health (JSON, for ``--watch``)
+``GET  /alerts``          active/ historical SLO alerts + rules (telemetry)
+``GET  /alerts/events``   live alert-transition stream (Server-Sent Events)
+``GET  /obs/targets``     telemetry store targets
+``GET  /obs/query``       windowed query over one series (rate/quantile/...)
+``GET  /obs/export``      raw samples of one target past a byte cursor
 ========================  ====================================================
+
+The ``/alerts*`` and ``/obs/*`` rows exist only when the hub was started
+with ``telemetry=True`` — a :class:`~repro.hub.telemetry.TelemetryPipeline`
+scraping the fleet on an interval into a
+:class:`~repro.obs.timeseries.MetricsStore` under the run store
+(``<runs>/obs/`` by default) and evaluating SLO rules each tick.
 
 The SSE endpoint implements exact-resume: every event's ``id:`` is the
 byte offset just past its journal line, a reconnecting client sends
@@ -52,6 +63,8 @@ from repro.hub.sse import (
     format_sse_event,
     journal_events_since,
 )
+from repro.hub.telemetry import TelemetryPipeline
+from repro.obs.alerts import Rule
 from repro.obs.prom import render_prometheus
 from repro.tracking.store import RunStore
 from repro.utils.metrics import MetricsRegistry
@@ -81,6 +94,10 @@ class HubServer:
         sse_poll_interval_s: float = 0.05,
         sse_keepalive_s: float = 15.0,
         reconcile_on_start: bool = True,
+        telemetry: bool = False,
+        scrape_interval_s: float = 2.0,
+        obs_dir: Optional[Union[str, pathlib.Path]] = None,
+        alert_rules: Optional[List[Rule]] = None,
     ):
         self.store = store if isinstance(store, RunStore) else RunStore(store)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -90,6 +107,21 @@ class HubServer:
             if replica_urls
             else None
         )
+        self.telemetry: Optional[TelemetryPipeline] = None
+        if telemetry:
+            self.telemetry = TelemetryPipeline(
+                replica_urls=replica_urls,
+                store=(
+                    pathlib.Path(obs_dir)
+                    if obs_dir is not None
+                    else self.store.root / "obs"
+                ),
+                rules=alert_rules,
+                interval_s=scrape_interval_s,
+                metrics=self.metrics,
+                hub_sampler=self._sample_scheduler,
+                run_source=self._running_run_journals,
+            )
         self.sse_poll_interval_s = sse_poll_interval_s
         self.sse_keepalive_s = sse_keepalive_s
         self.reconcile_on_start = reconcile_on_start
@@ -98,6 +130,25 @@ class HubServer:
         self._inflight_cv = threading.Condition()
         self._httpd = ThreadingHTTPServer((host, port), self._make_handler())
         self._thread: Optional[threading.Thread] = None
+
+    # -- telemetry taps ----------------------------------------------------------
+    def _sample_scheduler(self) -> Dict[str, float]:
+        """The hub's own per-tick gauges for the telemetry ``hub`` target."""
+        state = self.scheduler.state()
+        return {
+            "hub_queue_depth": float(len(state["queued"])),
+            "hub_running": 1.0 if state["running"] else 0.0,
+        }
+
+    def _running_run_journals(self):
+        """``(run_id, journal_path)`` of the currently running run, if any."""
+        run_id = self.scheduler.state()["running"]
+        if not run_id:
+            return []
+        try:
+            return [(run_id, self.store.get(run_id).journal_path)]
+        except TrackingError:
+            return []
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -113,6 +164,8 @@ class HubServer:
         if self.reconcile_on_start:
             self.scheduler.reconcile()
         self.scheduler.start()
+        if self.telemetry is not None:
+            self.telemetry.start()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, daemon=True
         )
@@ -138,6 +191,8 @@ class HubServer:
         self.begin_drain()
         self.drain(timeout_s=drain_timeout_s)
         self.scheduler.stop()
+        if self.telemetry is not None:
+            self.telemetry.stop()
         if self.aggregator is not None:
             self.aggregator.close()
         self._httpd.shutdown()
@@ -266,6 +321,17 @@ class HubServer:
                         self._get_fleet_metrics()
                     elif parsed.path == "/fleet/status":
                         self._get_fleet_status()
+                    elif parsed.path == "/alerts":
+                        self._get_alerts()
+                    elif parsed.path == "/alerts/events":
+                        self._stream_alerts(query)
+                        return  # SSE does its own accounting/timing
+                    elif parsed.path == "/obs/targets":
+                        self._get_obs_targets()
+                    elif parsed.path == "/obs/query":
+                        self._get_obs_query(query)
+                    elif parsed.path == "/obs/export":
+                        self._get_obs_export(query)
                     elif len(parts) == 2 and parts[0] == "runs":
                         self._get_run(parts[1])
                     elif (
@@ -407,6 +473,184 @@ class HubServer:
                 status = server.aggregator.status()
                 status["schema_version"] = HUB_SCHEMA_VERSION
                 self._reply(200, status)
+
+            # -------------------------------------------------------- telemetry
+            def _telemetry_or_404(self):
+                if server.telemetry is None:
+                    self._reply(
+                        404,
+                        {"error": "hub has no telemetry pipeline "
+                                  "(start with telemetry enabled)"},
+                    )
+                    return None
+                return server.telemetry
+
+            def _get_alerts(self):
+                pipeline = self._telemetry_or_404()
+                if pipeline is None:
+                    return
+                payload = pipeline.status()
+                payload["schema_version"] = HUB_SCHEMA_VERSION
+                self._reply(200, payload)
+
+            def _get_obs_targets(self):
+                pipeline = self._telemetry_or_404()
+                if pipeline is None:
+                    return
+                self._reply(
+                    200,
+                    {
+                        "schema_version": HUB_SCHEMA_VERSION,
+                        "targets": pipeline.store.targets(),
+                    },
+                )
+
+            def _get_obs_query(self, query: Dict):
+                pipeline = self._telemetry_or_404()
+                if pipeline is None:
+                    return
+                target = query.get("target", [None])[-1]
+                series = query.get("series", [None])[-1]
+                if not target or not series:
+                    self._reply(
+                        400, {"error": "query needs target= and series="}
+                    )
+                    return
+                fn = query.get("fn", ["last"])[-1]
+                try:
+                    window_s = float(query.get("window_s", ["60"])[-1])
+                    q_raw = query.get("q", [None])[-1]
+                    q = float(q_raw) if q_raw is not None else None
+                except ValueError:
+                    self._reply(400, {"error": "bad window_s= or q="})
+                    return
+                try:
+                    value = pipeline.store.query(
+                        target, series, fn=fn, window_s=window_s, q=q
+                    )
+                except TrackingError as error:
+                    # a bad fn / window is the caller's mistake, not a
+                    # missing resource — don't let the outer 404 eat it
+                    self._reply(400, {"error": str(error)})
+                    return
+                self._reply(
+                    200,
+                    {
+                        "schema_version": HUB_SCHEMA_VERSION,
+                        "target": target,
+                        "series": series,
+                        "fn": fn,
+                        "window_s": window_s,
+                        "value": value,
+                    },
+                )
+
+            def _get_obs_export(self, query: Dict):
+                pipeline = self._telemetry_or_404()
+                if pipeline is None:
+                    return
+                target = query.get("target", [None])[-1]
+                if not target:
+                    self._reply(400, {"error": "export needs target="})
+                    return
+                try:
+                    after = int(query.get("after", ["0"])[-1])
+                except ValueError:
+                    self._reply(400, {"error": "bad after= cursor"})
+                    return
+                samples, scan = pipeline.store.read_from(target, after)
+                self._reply(
+                    200,
+                    {
+                        "schema_version": HUB_SCHEMA_VERSION,
+                        "target": target,
+                        "samples": [
+                            {"t": t, "s": series} for t, series in samples
+                        ],
+                        "cursor": scan.valid_bytes,
+                        "truncated_tail": scan.truncated_tail,
+                    },
+                )
+
+            def _stream_alerts(self, query: Dict):
+                pipeline = self._telemetry_or_404()
+                if pipeline is None:
+                    return
+                journal = pipeline.alerts_journal_path
+                if journal is None:
+                    self._reply(
+                        404,
+                        {"error": "telemetry store is memory-only; "
+                                  "no alert journal to stream"},
+                    )
+                    return
+                cursor = 0
+                last_id = self.headers.get("Last-Event-ID")
+                after = query.get("after", [None])[-1]
+                for raw in (last_id, after):
+                    if raw is not None:
+                        try:
+                            cursor = max(cursor, int(raw))
+                        except ValueError:
+                            self._reply(
+                                400, {"error": f"bad cursor {raw!r}"}
+                            )
+                            return
+                metrics.counter("hub_sse_streams_total").inc()
+                self.send_response(200)
+                self.send_header("Content-Type", "text/event-stream")
+                self.send_header("Cache-Control", "no-cache")
+                self.send_header("Connection", "close")
+                self.end_headers()
+                self.close_connection = True
+                self._count("/alerts/events", 200)
+                try:
+                    self._pump_alerts(journal, cursor)
+                except (BrokenPipeError, ConnectionResetError, OSError):
+                    pass  # client went away; the cursor makes resume exact
+
+            def _pump_alerts(
+                self, journal: pathlib.Path, cursor: int
+            ) -> None:
+                """Stream alert transitions until the hub drains.
+
+                Unlike a run stream there is no terminal status — the
+                alert journal outlives every run — so only the drain
+                flag ends the stream (with a comment frame, so clients
+                can tell shutdown from a dropped connection).
+                """
+                last_activity = time.monotonic()
+                while True:
+                    progressed = False
+                    if journal.exists():
+                        frames, scan = journal_events_since(journal, cursor)
+                        for line, end, event in frames:
+                            self.wfile.write(
+                                format_sse_event(
+                                    line.decode("utf-8"),
+                                    event_id=end,
+                                    event=str(event.get("type", "alert")),
+                                )
+                            )
+                            metrics.counter("hub_sse_events_total").inc()
+                        if frames:
+                            self.wfile.flush()
+                            progressed = True
+                            last_activity = time.monotonic()
+                        cursor = scan.valid_bytes
+                    if server._draining:
+                        self.wfile.write(format_sse_comment("hub draining"))
+                        self.wfile.flush()
+                        return
+                    if not progressed:
+                        if (
+                            time.monotonic() - last_activity
+                            >= server.sse_keepalive_s
+                        ):
+                            self.wfile.write(format_sse_comment())
+                            self.wfile.flush()
+                            last_activity = time.monotonic()
+                        time.sleep(server.sse_poll_interval_s)
 
             # -------------------------------------------------------------- SSE
             def _stream_events(self, run_id: str, query: Dict):

@@ -118,6 +118,11 @@ def parse_sse_lines(lines: Iterable[str]) -> Iterator[SSEEvent]:
     event_id: Optional[str] = None
     event_type: Optional[str] = None
     for line in lines:
+        # the EventSource spec admits CRLF line endings; a caller that
+        # split on "\n" alone hands us lines with a trailing "\r" — strip
+        # exactly one so a CRLF blank line still dispatches the event
+        if line.endswith("\r"):
+            line = line[:-1]
         if line == "":
             if data:
                 yield SSEEvent(

@@ -13,8 +13,14 @@ the time went*:
   ``repro runs profile``.
 * :mod:`repro.obs.prom` — Prometheus text exposition and its validating
   parser, behind ``GET /metrics?format=prom`` and ``repro stats --prom``.
+* :mod:`repro.obs.timeseries` — append-only crash-safe metrics journal
+  per scrape target with windowed queries (``rate``/``increase``/
+  quantile-from-histogram), behind the hub's scrape loop.
+* :mod:`repro.obs.alerts` — declarative SLO rules with ``for:`` holds
+  and hysteresis, evaluated each scrape tick over the store.
 """
 
+from repro.obs.alerts import Alert, AlertManager, Rule, builtin_rules
 from repro.obs.chrome import (
     ChromeTraceSink,
     spans_to_trace_events,
@@ -30,6 +36,13 @@ from repro.obs.prom import (
     parse_prometheus_text,
     render_prometheus,
     sanitize_metric_name,
+)
+from repro.obs.timeseries import (
+    MetricsStore,
+    counter_increase,
+    flatten_families,
+    histogram_quantile,
+    series_key,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -47,21 +60,30 @@ from repro.obs.trace import (
 __all__ = [
     "NULL_TRACER",
     "SPAN_SCHEMA_VERSION",
+    "Alert",
+    "AlertManager",
     "ChromeTraceSink",
     "InMemorySink",
     "JournalSpanSink",
+    "MetricsStore",
     "NullTracer",
+    "Rule",
     "RunProfile",
     "Span",
     "SpanSink",
     "Tracer",
     "build_profile",
+    "builtin_rules",
+    "counter_increase",
+    "flatten_families",
     "format_trace_context",
+    "histogram_quantile",
     "parse_prometheus_text",
     "parse_trace_context",
     "render_profile",
     "render_prometheus",
     "sanitize_metric_name",
+    "series_key",
     "spans_from_journal",
     "spans_to_trace_events",
     "write_chrome_trace",

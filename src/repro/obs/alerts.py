@@ -1,0 +1,519 @@
+"""Declarative SLO rules over the metrics store, with hold and hysteresis.
+
+The scrape loop calls :meth:`AlertManager.evaluate` once per tick; rules
+are pure declarations over :class:`~repro.obs.timeseries.MetricsStore`
+queries, and the manager owns the per-(rule, target) state machine:
+
+    inactive --cond true--> pending --held for_s--> firing
+    firing --cond false held resolve_for_s--> resolved (-> inactive)
+
+* ``for_s`` is the Prometheus ``for:`` hold — a condition must stay true
+  that long before the alert fires, so one noisy tick cannot page;
+* ``resolve_for_s`` is the symmetric resolve hold, and ``resolve_value``
+  is optional hysteresis: while firing, the condition is re-evaluated
+  against the resolve threshold instead of the firing one, so a series
+  oscillating across the firing threshold does not flap.
+
+Rule kinds:
+
+``threshold``
+    Compare a query (``mode``: ``value``/``rate``/``increase``/
+    ``ratio_rate``) against ``value`` with ``op``.  ``ratio_rate``
+    divides the series' rate by ``denominator``'s rate (error-rate
+    style); a zero denominator reads as ratio 0.
+``absence``
+    Fire when a series that has reported before goes silent for
+    ``window_s``.
+``rate_drop``
+    Fire when the current window's rate falls below ``value`` times the
+    preceding window's rate (throughput collapse without an absolute
+    floor).
+``stall``
+    Fire when ``progress_series`` advanced by at least ``min_progress``
+    over the window while ``series`` improved by no more than ``value``
+    (relative) — the hypervolume-stall detector.
+
+A rule whose query returns ``None`` (series never seen on the target) is
+skipped for that target: absent telemetry is not the same as a bad
+signal, and the built-in ``replica_down`` rule covers the scraped-target
+disappearance case via the pipeline's explicit ``up`` series.
+
+Rules may gate on activity (``activation_window_s``): the condition only
+arms once the series has shown a positive increase within that lookback.
+The ``evals_per_sec_floor`` built-in uses this so an idle fleet (no
+search running yet) does not page, while a replica that *was* serving
+evaluations and stopped does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.timeseries import MetricsStore, counter_increase
+
+__all__ = [
+    "Alert",
+    "AlertManager",
+    "Rule",
+    "builtin_rules",
+]
+
+_KINDS = ("threshold", "absence", "rate_drop", "stall")
+_MODES = ("value", "rate", "increase", "ratio_rate")
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One declarative SLO rule; see the module docstring for semantics."""
+
+    name: str
+    series: str
+    kind: str = "threshold"
+    op: str = ">"
+    value: float = 0.0
+    mode: str = "value"
+    #: ratio_rate denominator series (required for that mode)
+    denominator: Optional[str] = None
+    window_s: float = 60.0
+    for_s: float = 0.0
+    resolve_for_s: float = 0.0
+    #: hysteresis: threshold used while firing (defaults to ``value``)
+    resolve_value: Optional[float] = None
+    #: fnmatch patterns of targets the rule applies to
+    targets: Tuple[str, ...] = ("*",)
+    description: str = ""
+    #: stall: the series that must advance for a stall to be meaningful
+    progress_series: Optional[str] = None
+    #: stall: minimum progress_series advance per window
+    min_progress: float = 1.0
+    #: threshold: arm only after the series increased within this lookback
+    activation_window_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"rule {self.name!r}: unknown kind {self.kind!r} "
+                f"(use one of {_KINDS})"
+            )
+        if self.op not in _OPS:
+            raise ConfigurationError(
+                f"rule {self.name!r}: unknown op {self.op!r}"
+            )
+        if self.mode not in _MODES:
+            raise ConfigurationError(
+                f"rule {self.name!r}: unknown mode {self.mode!r} "
+                f"(use one of {_MODES})"
+            )
+        if self.mode == "ratio_rate" and not self.denominator:
+            raise ConfigurationError(
+                f"rule {self.name!r}: ratio_rate needs a denominator series"
+            )
+        if self.kind == "stall" and not self.progress_series:
+            raise ConfigurationError(
+                f"rule {self.name!r}: stall needs a progress_series"
+            )
+        if self.window_s <= 0.0:
+            raise ConfigurationError(
+                f"rule {self.name!r}: window_s must be > 0"
+            )
+        if self.for_s < 0.0 or self.resolve_for_s < 0.0:
+            raise ConfigurationError(
+                f"rule {self.name!r}: hold durations must be >= 0"
+            )
+
+    def matches(self, target: str) -> bool:
+        return any(fnmatchcase(target, pattern) for pattern in self.targets)
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "series": self.series,
+            "kind": self.kind,
+            "op": self.op,
+            "value": self.value,
+            "mode": self.mode,
+            "denominator": self.denominator,
+            "window_s": self.window_s,
+            "for_s": self.for_s,
+            "resolve_for_s": self.resolve_for_s,
+            "resolve_value": self.resolve_value,
+            "targets": list(self.targets),
+            "description": self.description,
+            "progress_series": self.progress_series,
+            "min_progress": self.min_progress,
+            "activation_window_s": self.activation_window_s,
+        }
+
+
+@dataclass
+class Alert:
+    """Live state of one (rule, target) pair."""
+
+    rule: str
+    target: str
+    #: "pending" | "firing"
+    state: str = "pending"
+    since_t: float = 0.0
+    fired_t: Optional[float] = None
+    #: last observed condition value (for dashboards)
+    value: Optional[float] = None
+    description: str = ""
+    #: while firing: when the condition first went continuously false
+    clear_since_t: Optional[float] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "target": self.target,
+            "state": self.state,
+            "since_t": self.since_t,
+            "fired_t": self.fired_t,
+            "value": self.value,
+            "description": self.description,
+        }
+
+
+def builtin_rules(
+    interval_s: float,
+    evals_floor_per_s: float = 0.5,
+    error_rate_max: float = 0.05,
+    queue_depth_max: float = 10.0,
+    hv_stall_window_s: float = 600.0,
+    hv_stall_min_iterations: float = 3.0,
+) -> List[Rule]:
+    """The shipped SLO rules, with windows scaled to the scrape interval."""
+    window = max(2.0 * interval_s, 1e-6)
+    return [
+        Rule(
+            name="replica_down",
+            series="up",
+            kind="threshold",
+            op="<",
+            value=1.0,
+            mode="value",
+            window_s=window,
+            for_s=0.0,
+            resolve_for_s=interval_s,
+            targets=("replica:*",),
+            description="replica failed its scrape",
+        ),
+        Rule(
+            name="breaker_open",
+            series="remote_circuit_opened_total",
+            kind="threshold",
+            op=">",
+            value=0.0,
+            mode="increase",
+            window_s=window,
+            resolve_for_s=2.0 * interval_s,
+            targets=("*",),
+            description="a client circuit breaker opened",
+        ),
+        Rule(
+            name="evals_per_sec_floor",
+            series="engine_queries_total",
+            kind="threshold",
+            op="<",
+            value=evals_floor_per_s,
+            mode="rate",
+            window_s=window,
+            for_s=0.0,
+            resolve_for_s=interval_s,
+            # hysteresis: resolve only once clearly back above the floor
+            resolve_value=evals_floor_per_s * 1.5,
+            targets=("replica:*", "fleet"),
+            description="engine evaluation rate below floor",
+            activation_window_s=max(30.0 * interval_s, 10.0 * window),
+        ),
+        Rule(
+            name="http_error_rate",
+            series="service_errors_total",
+            kind="threshold",
+            op=">",
+            value=error_rate_max,
+            mode="ratio_rate",
+            denominator="service_requests_total",
+            window_s=max(5.0 * interval_s, window),
+            for_s=interval_s,
+            resolve_for_s=2.0 * interval_s,
+            targets=("replica:*", "fleet"),
+            description="HTTP error rate above budget",
+        ),
+        Rule(
+            name="queue_depth",
+            series="hub_queue_depth",
+            kind="threshold",
+            op=">",
+            value=queue_depth_max,
+            mode="value",
+            window_s=window,
+            for_s=2.0 * interval_s,
+            resolve_for_s=interval_s,
+            targets=("hub",),
+            description="scheduler queue backing up",
+        ),
+        Rule(
+            name="hv_stall",
+            series="search_hypervolume",
+            kind="stall",
+            op=">",  # unused by stall, kept valid
+            value=1e-4,  # relative improvement considered progress
+            window_s=hv_stall_window_s,
+            min_progress=hv_stall_min_iterations,
+            progress_series="search_iteration",
+            resolve_for_s=interval_s,
+            targets=("run:*",),
+            description="hypervolume flat while iterations advance",
+        ),
+    ]
+
+
+class AlertManager:
+    """Evaluate rules each tick and drive the alert state machines.
+
+    ``on_transition(event_dict)`` is called for every ``firing`` /
+    ``resolved`` transition — the pipeline journals these and counts
+    them in the hub registry.  ``history`` keeps the last
+    ``history_limit`` transitions for ``GET /alerts``.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        on_transition: Optional[Callable[[Dict], None]] = None,
+        history_limit: int = 256,
+    ):
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"duplicate rule names: {sorted(names)}"
+            )
+        self.rules = list(rules)
+        self.on_transition = on_transition
+        self.history_limit = history_limit
+        self.history: List[Dict] = []
+        self._states: Dict[Tuple[str, str], Alert] = {}
+
+    # ------------------------------------------------------------ conditions
+    def _condition_value(
+        self, store: MetricsStore, rule: Rule, target: str, now: float
+    ) -> Optional[float]:
+        """The raw number the rule compares (None = not evaluable)."""
+        if rule.kind == "absence":
+            points = store.series(
+                target, rule.series, start_t=now - rule.window_s, end_t=now
+            )
+            if points:
+                return 0.0
+            if store._series_ever(target, rule.series, now):
+                return 1.0  # seen before, silent now
+            return None
+        if rule.kind == "rate_drop":
+            current = store.query(
+                target, rule.series, "rate", rule.window_s, now=now
+            )
+            previous = store.query(
+                target, rule.series, "rate", rule.window_s,
+                now=now - rule.window_s,
+            )
+            if current is None or previous is None or previous <= 0.0:
+                return None
+            return current / previous
+        if rule.kind == "stall":
+            progress = store.series(
+                target, rule.progress_series,
+                start_t=now - rule.window_s, end_t=now,
+            )
+            signal = store.series(
+                target, rule.series, start_t=now - rule.window_s, end_t=now
+            )
+            if len(progress) < 2 or len(signal) < 2:
+                return None
+            advanced = progress[-1][1] - progress[0][1]
+            if advanced < rule.min_progress:
+                return None  # not enough work done to call it a stall
+            base = abs(signal[0][1])
+            improvement = signal[-1][1] - signal[0][1]
+            return improvement / base if base > 0.0 else improvement
+        # threshold
+        if rule.mode == "value":
+            return store.query(
+                target, rule.series, "last", rule.window_s, now=now
+            )
+        if rule.mode in ("rate", "increase"):
+            return store.query(
+                target, rule.series, rule.mode, rule.window_s, now=now
+            )
+        # ratio_rate
+        numerator = store.query(
+            target, rule.series, "rate", rule.window_s, now=now
+        )
+        denominator = store.query(
+            target, rule.denominator, "rate", rule.window_s, now=now
+        )
+        if numerator is None or denominator is None:
+            return None
+        return numerator / denominator if denominator > 0.0 else 0.0
+
+    def _condition(
+        self,
+        store: MetricsStore,
+        rule: Rule,
+        target: str,
+        now: float,
+        firing: bool,
+    ) -> Tuple[Optional[bool], Optional[float]]:
+        value = self._condition_value(store, rule, target, now)
+        if value is None:
+            return None, None
+        if rule.kind == "absence":
+            return value >= 1.0, value
+        if rule.kind in ("rate_drop", "stall"):
+            # both fire when the observed ratio/improvement is "too small"
+            return value <= rule.value, value
+        if rule.activation_window_s is not None and not firing:
+            if not self._activation_open(store, rule, target, now):
+                return False, value
+        threshold = rule.value
+        if firing and rule.resolve_value is not None:
+            threshold = rule.resolve_value
+        return _OPS[rule.op](value, threshold), value
+
+    def _activation_open(
+        self, store: MetricsStore, rule: Rule, target: str, now: float
+    ) -> bool:
+        """True once the series showed real traffic within the lookback.
+
+        Counters register lazily on the first event, so a series that is
+        *born* inside the lookback at a positive value is growth too —
+        without that case a replica whose only samples are post-burst and
+        flat (e.g. it served one query between two scrapes) never arms.
+        """
+        start = now - rule.activation_window_s
+        lookback = store.series(
+            target, rule.series, start_t=start, end_t=now
+        )
+        if counter_increase(lookback) > 0.0:
+            return True
+        if not lookback or lookback[0][1] <= 0.0:
+            return False
+        full = store.series(target, rule.series)
+        return bool(full) and full[0][0] >= start
+
+    # ------------------------------------------------------------- evaluate
+    def evaluate(
+        self,
+        store: MetricsStore,
+        now: Optional[float] = None,
+        targets: Optional[Sequence[str]] = None,
+    ) -> List[Dict]:
+        """One tick: update every (rule, target) state; return transitions."""
+        now = time.time() if now is None else now
+        if targets is None:
+            targets = store.targets()
+        transitions: List[Dict] = []
+        for rule in self.rules:
+            for target in targets:
+                if not rule.matches(target):
+                    continue
+                transitions.extend(
+                    self._step(store, rule, target, now)
+                )
+        return transitions
+
+    def _step(
+        self, store: MetricsStore, rule: Rule, target: str, now: float
+    ) -> List[Dict]:
+        key = (rule.name, target)
+        state = self._states.get(key)
+        firing = state is not None and state.state == "firing"
+        condition, value = self._condition(store, rule, target, now, firing)
+        out: List[Dict] = []
+        if condition is None:
+            # not evaluable: drop a pending alert (signal went away before
+            # the hold elapsed), keep a firing one (it resolves explicitly)
+            if state is not None and state.state == "pending":
+                del self._states[key]
+            return out
+        if state is None:
+            if condition:
+                state = Alert(
+                    rule=rule.name,
+                    target=target,
+                    state="pending",
+                    since_t=now,
+                    value=value,
+                    description=rule.description,
+                )
+                self._states[key] = state
+                if rule.for_s <= 0.0:
+                    out.append(self._fire(state, now))
+            return out
+        state.value = value
+        if state.state == "pending":
+            if not condition:
+                del self._states[key]
+            elif now - state.since_t >= rule.for_s:
+                out.append(self._fire(state, now))
+            return out
+        # firing
+        if condition:
+            state.clear_since_t = None
+            return out
+        if state.clear_since_t is None:
+            state.clear_since_t = now
+        if now - state.clear_since_t >= rule.resolve_for_s:
+            out.append(self._resolve(state, now))
+            del self._states[key]
+        return out
+
+    def _fire(self, state: Alert, now: float) -> Dict:
+        state.state = "firing"
+        state.fired_t = now
+        state.clear_since_t = None
+        return self._transition(state, "firing", now)
+
+    def _resolve(self, state: Alert, now: float) -> Dict:
+        return self._transition(state, "resolved", now)
+
+    def _transition(self, state: Alert, kind: str, now: float) -> Dict:
+        event = {
+            "state": kind,
+            "rule": state.rule,
+            "target": state.target,
+            "value": state.value,
+            "t": now,
+            "description": state.description,
+        }
+        self.history.append(event)
+        if len(self.history) > self.history_limit:
+            del self.history[: len(self.history) - self.history_limit]
+        if self.on_transition is not None:
+            self.on_transition(dict(event))
+        return event
+
+    # -------------------------------------------------------------- surface
+    def active(self) -> List[Dict]:
+        """Pending + firing alerts, stable order for dashboards."""
+        return [
+            self._states[key].to_dict()
+            for key in sorted(self._states)
+        ]
+
+    def firing(self) -> List[Dict]:
+        return [a for a in self.active() if a["state"] == "firing"]
+
+    def rules_dict(self) -> List[Dict]:
+        return [rule.to_dict() for rule in self.rules]

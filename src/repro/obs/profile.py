@@ -78,6 +78,11 @@ class RunProfile:
         """Sum of per-phase self time (equals the root spans' wall time)."""
         return sum(p.wall_self_s for p in self.phases)
 
+    @property
+    def total_evals(self) -> int:
+        """Engine evaluations recorded anywhere in the span tree."""
+        return sum(p.evals for p in self.phases if p.name in ENGINE_SPAN_NAMES)
+
 
 def build_profile(spans: Sequence[Dict], top_n: int = 5) -> RunProfile:
     """Aggregate finished-span dicts into a :class:`RunProfile`.
@@ -160,8 +165,14 @@ def render_profile(profile: RunProfile) -> str:
         f"{'phase':<22s}{'count':>7s}{'wall':>10s}{'self':>10s}"
         f"{'wall%':>7s}{'sim':>12s}{'evals':>8s}{'evals/s':>9s}"
     )
-    total = profile.total_wall_s or 1.0
+    # guard the percentage denominator: spans recorded with zero wall
+    # duration (mocked clocks, sub-resolution runs) must not divide by 0
+    total = profile.total_wall_s if profile.total_wall_s > 0.0 else 1.0
     for phase in profile.phases:
+        # a phase with no engine evals beneath it has no throughput to
+        # report — print "-" rather than a meaningless 0.0 (or NaN from
+        # a 0/0 if both evals and wall time are absent)
+        rate = f"{phase.evals_per_s:>9.1f}" if phase.evals else f"{'-':>9s}"
         lines.append(
             f"{phase.name:<22s}{phase.count:>7d}"
             f"{_fmt_seconds(phase.wall_total_s):>10s}"
@@ -169,7 +180,7 @@ def render_profile(profile: RunProfile) -> str:
             f"{100.0 * phase.wall_self_s / total:>6.1f}%"
             f"{_fmt_seconds(phase.sim_total_s):>12s}"
             f"{phase.evals:>8d}"
-            f"{phase.evals_per_s:>9.1f}"
+            f"{rate}"
         )
     lines.append(
         f"{'total':<22s}{profile.num_spans:>7d}"

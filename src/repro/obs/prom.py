@@ -83,6 +83,15 @@ METRIC_HELP: Dict[str, str] = {
     "hub_fleet_scrape_seconds": "Wall time of full fleet scrape+merge sweeps.",
     "hub_fleet_merge_conflicts_total":
         "Histogram families skipped from fleet rollups (bucket mismatch).",
+    "hub_telemetry_ticks_total": "Telemetry scrape-loop ticks completed.",
+    "hub_telemetry_tick_errors_total":
+        "Telemetry ticks that raised and were skipped.",
+    "hub_telemetry_tick_seconds":
+        "Wall time of telemetry scrape+append+rule-evaluation ticks.",
+    "hub_telemetry_samples_total":
+        "Samples appended to the telemetry metrics store.",
+    "hub_alerts_fired_total": "SLO alerts that transitioned to firing.",
+    "hub_alerts_resolved_total": "SLO alerts that resolved after firing.",
 }
 
 _NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -311,6 +320,12 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict]:
             raise ValueError(
                 f"line {lineno}: sample {name!r} outside its TYPE family"
             )
+        family_type = families[current]["type"]
+        if not _sample_name_fits_type(name, current, family_type):
+            raise ValueError(
+                f"line {lineno}: sample {name!r} is not a legal series of "
+                f"{family_type} family {current!r}"
+            )
         labels = _parse_labels(match.group("labels"))
         try:
             value = float(match.group("value"))
@@ -327,6 +342,31 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict]:
         if data["type"] == "histogram":
             _validate_histogram_family(family, data["samples"])
     return families
+
+
+def _sample_name_fits_type(
+    name: str, family: str, family_type: Optional[str]
+) -> bool:
+    """Type-aware sample naming: what a TYPE declaration promises.
+
+    A ``counter`` (or ``gauge``) family carries exactly one series name —
+    the family's own; a ``histogram`` carries only the ``_bucket`` /
+    ``_sum`` / ``_count`` components; a ``summary`` its quantile series
+    plus ``_sum``/``_count``.  Declaring ``TYPE x counter`` and then
+    emitting ``x_bytes`` is the kind of exposition drift a real scraper
+    mis-ingests silently; the strict parser rejects it so the renderer's
+    round-trip test can prove the emitted TYPE lines are honest.
+    """
+    if family_type in ("counter", "gauge"):
+        return name == family
+    if family_type == "histogram":
+        return name in (
+            family + "_bucket", family + "_sum", family + "_count"
+        )
+    if family_type == "summary":
+        return name in (family, family + "_sum", family + "_count")
+    # untyped: anything in the family's namespace
+    return True
 
 
 _HELP_UNESCAPE = re.compile(r"\\(\\|n)")

@@ -66,6 +66,12 @@ EVENT_TYPES = (
     # consumers filter by type.
     "engine_sample",
     "learned_model",
+    # additive: per-iteration search-health beacon (hypervolume, front
+    # size, screening escalations) consumed by the hub's telemetry
+    # pipeline, and alert firing/resolution transitions journalled by
+    # the SLO rule engine.  Same forward-compat argument as above.
+    "search_health",
+    "alert",
 )
 
 

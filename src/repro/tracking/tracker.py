@@ -91,6 +91,14 @@ class Tracker:
     def on_iteration_end(self, optimizer, record) -> None:
         """An :class:`~repro.core.unico.IterationRecord` was finalized."""
 
+    def on_search_health(self, optimizer, iteration: int, health: Dict) -> None:
+        """Per-iteration search-health beacon (HV, front size, screening).
+
+        ``health`` is a plain JSON-ready dict assembled by the optimizer
+        — the hub's telemetry pipeline tails these events to detect
+        hypervolume stalls and screening drift without replaying the run.
+        """
+
     def on_run_end(self, optimizer, result) -> None:
         """``optimize()`` is returning ``result``."""
 
@@ -329,6 +337,11 @@ class JournalTracker(Tracker):
         completed = int(getattr(optimizer, "completed_iterations", 0))
         if self.checkpoint_every and completed % self.checkpoint_every == 0:
             self.checkpoint(optimizer)
+
+    def on_search_health(self, optimizer, iteration: int, health: Dict) -> None:
+        payload = {"iteration": int(iteration)}
+        payload.update({str(k): to_jsonable(v) for k, v in health.items()})
+        self._emit(optimizer, "search_health", payload)
 
     def checkpoint(self, optimizer) -> None:
         """Write a checkpoint for the optimizer's current completed count.

@@ -215,3 +215,71 @@ class TestSSEAcceptance:
             for line in run.journal_path.read_bytes().splitlines()
         ]
         assert events[-1].type == "run_end"
+
+    def test_client_generator_survives_server_restart(self, tmp_path):
+        """Satellite: stream_events resumes from its byte cursor across a
+        full hub restart — events arrive exactly once, in order, with no
+        replays of the pre-restart prefix."""
+        import socket
+        import threading
+
+        from repro.tracking.journal import EventJournal
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        root = tmp_path / "runs"
+        handle = RunStore(root).create_run(
+            manifest={"status": "running", "method": "unico"}
+        )
+        with EventJournal(handle.journal_path) as journal:
+            for i in range(3):
+                journal.append("evaluation", {"iteration": i})
+
+        server = HubServer(
+            root, port=port, sse_poll_interval_s=0.02,
+            reconcile_on_start=False,
+        )
+        server.start()
+        client = HubClient(server.url)
+        received = []
+        done = threading.Event()
+
+        def collect():
+            for event in client.stream_events(
+                handle.run_id, reconnect_delay_s=0.05
+            ):
+                received.append(event)
+            done.set()
+
+        thread = threading.Thread(target=collect, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10.0
+        while len(received) < 3 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert len(received) == 3
+
+        server.stop()  # restart leg: client must reconnect and resume
+        with EventJournal(handle.journal_path) as journal:
+            for i in range(3, 6):
+                journal.append("evaluation", {"iteration": i})
+        server = HubServer(
+            root, port=port, sse_poll_interval_s=0.02,
+            reconcile_on_start=False,
+        )
+        server.start()
+        try:
+            handle.set_status("completed")
+            assert done.wait(timeout=20.0), received
+        finally:
+            client.close()
+            server.stop()
+
+        assert [e.event["iteration"] for e in received] == list(range(6))
+        # offsets are the journal's own byte cursors: strictly increasing
+        # and ending at the file size
+        offsets = [e.offset for e in received]
+        assert offsets == sorted(set(offsets))
+        assert offsets[-1] == handle.journal_path.stat().st_size

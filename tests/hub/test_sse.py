@@ -71,6 +71,32 @@ class TestParser:
         (event,) = parse_sse_lines(lines)
         assert event.data == "x"
 
+    def test_crlf_line_endings(self):
+        """The EventSource spec admits CRLF; a client splitting on \\n
+        alone hands the parser lines with a trailing \\r — including the
+        dispatching blank line, which must still dispatch."""
+        wire = b'id: 7\r\nevent: evaluation\r\ndata: {"seq": 7}\r\n\r\n'
+        (event,) = parse_sse_lines(wire.decode().split("\n"))
+        assert event.data == '{"seq": 7}'
+        assert event.event_id == "7"
+        assert event.event == "evaluation"
+
+    def test_crlf_strips_exactly_one_cr(self):
+        # a literal \r at the end of the payload survives CRLF stripping
+        (event,) = parse_sse_lines(["data: x\r\r", ""])
+        assert event.data == "x\r"
+
+    def test_multi_data_lines_joined_with_newline(self):
+        lines = ["id: 3", "data: first", "data: second", "data:", ""]
+        (event,) = parse_sse_lines(lines)
+        assert event.data == "first\nsecond\n"
+        assert event.event_id == "3"
+
+    def test_multi_data_crlf_mix(self):
+        wire = b"data: a\r\ndata: b\n\r\n"
+        (event,) = parse_sse_lines(wire.decode().split("\n"))
+        assert event.data == "a\nb"
+
 
 class TestJournalEventsSince:
     def make_journal(self, tmp_path, count=4):

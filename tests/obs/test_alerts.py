@@ -1,0 +1,262 @@
+"""Tests for the SLO rule engine: holds, hysteresis, builtin rules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.alerts import AlertManager, Rule, builtin_rules
+from repro.obs.timeseries import MetricsStore
+
+
+def manager(*rules, **kwargs):
+    transitions = []
+    mgr = AlertManager(
+        rules, on_transition=transitions.append, **kwargs
+    )
+    return mgr, transitions
+
+
+class TestRuleValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            Rule(name="r", series="s", kind="magic")
+
+    def test_unknown_op(self):
+        with pytest.raises(ConfigurationError):
+            Rule(name="r", series="s", op="~")
+
+    def test_ratio_rate_needs_denominator(self):
+        with pytest.raises(ConfigurationError):
+            Rule(name="r", series="s", mode="ratio_rate")
+
+    def test_stall_needs_progress_series(self):
+        with pytest.raises(ConfigurationError):
+            Rule(name="r", series="s", kind="stall")
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = Rule(name="r", series="s")
+        with pytest.raises(ConfigurationError):
+            AlertManager([rule, rule])
+
+    def test_target_patterns(self):
+        rule = Rule(name="r", series="s", targets=("replica:*", "fleet"))
+        assert rule.matches("replica:a:1")
+        assert rule.matches("fleet")
+        assert not rule.matches("hub")
+
+
+class TestThresholdStateMachine:
+    RULE = Rule(
+        name="hot", series="g", op=">", value=5.0,
+        window_s=10.0, for_s=2.0, resolve_for_s=2.0,
+    )
+
+    def test_fire_after_hold_resolve_after_clear_hold(self):
+        mgr, transitions = manager(self.RULE)
+        store = MetricsStore()
+
+        store.append("t", 0.0, {"g": 9.0})
+        mgr.evaluate(store, now=0.0)
+        assert mgr.active()[0]["state"] == "pending"
+        assert transitions == []
+
+        store.append("t", 2.0, {"g": 9.0})
+        mgr.evaluate(store, now=2.0)  # hold elapsed
+        assert mgr.firing()[0]["rule"] == "hot"
+        assert [e["state"] for e in transitions] == ["firing"]
+
+        store.append("t", 3.0, {"g": 1.0})
+        mgr.evaluate(store, now=3.0)  # condition clear, hold running
+        assert mgr.firing()  # still firing
+
+        store.append("t", 5.0, {"g": 1.0})
+        mgr.evaluate(store, now=5.0)  # resolve hold elapsed
+        assert mgr.active() == []
+        assert [e["state"] for e in transitions] == ["firing", "resolved"]
+
+    def test_blip_shorter_than_hold_never_fires(self):
+        mgr, transitions = manager(self.RULE)
+        store = MetricsStore()
+        store.append("t", 0.0, {"g": 9.0})
+        mgr.evaluate(store, now=0.0)
+        store.append("t", 1.0, {"g": 1.0})  # back below before for_s
+        mgr.evaluate(store, now=1.0)
+        assert mgr.active() == []
+        assert transitions == []
+
+    def test_hysteresis_prevents_flapping(self):
+        rule = Rule(
+            name="low", series="g", op="<", value=1.0,
+            resolve_value=2.0, window_s=10.0, resolve_for_s=0.0,
+        )
+        mgr, transitions = manager(rule)
+        store = MetricsStore()
+        store.append("t", 0.0, {"g": 0.5})
+        mgr.evaluate(store, now=0.0)
+        assert mgr.firing()
+        # 1.5 is above the firing threshold but below the resolve one:
+        # without hysteresis this tick would resolve, the next re-fire
+        store.append("t", 1.0, {"g": 1.5})
+        mgr.evaluate(store, now=1.0)
+        assert mgr.firing()
+        store.append("t", 2.0, {"g": 3.0})
+        mgr.evaluate(store, now=2.0)
+        assert mgr.active() == []
+        assert [e["state"] for e in transitions] == ["firing", "resolved"]
+
+    def test_unseen_series_never_pages(self):
+        mgr, transitions = manager(self.RULE)
+        store = MetricsStore()
+        store.append("t", 0.0, {"other": 1.0})
+        mgr.evaluate(store, now=0.0)
+        assert mgr.active() == []
+
+    def test_signal_loss_drops_pending_keeps_firing(self):
+        mgr, _ = manager(self.RULE)
+        store = MetricsStore()
+        store.append("t", 0.0, {"g": 9.0})
+        mgr.evaluate(store, now=0.0)
+        assert mgr.active()[0]["state"] == "pending"
+        # series ages out of the window entirely -> condition None
+        mgr.evaluate(store, now=100.0)
+        assert mgr.active() == []
+
+
+class TestOtherKinds:
+    def test_absence_fires_when_seen_series_goes_silent(self):
+        rule = Rule(name="gone", series="beat", kind="absence", window_s=5.0)
+        mgr, transitions = manager(rule)
+        store = MetricsStore()
+        store.append("t", 0.0, {"beat": 1.0})
+        mgr.evaluate(store, now=1.0)
+        assert mgr.active() == []
+        mgr.evaluate(store, now=10.0)  # silent for > window
+        assert mgr.firing()[0]["rule"] == "gone"
+
+    def test_rate_drop(self):
+        rule = Rule(
+            name="collapse", series="c_total", kind="rate_drop",
+            value=0.5, window_s=10.0,
+        )
+        mgr, _ = manager(rule)
+        store = MetricsStore()
+        # previous window: +100; current window: +10 -> ratio 0.1 <= 0.5
+        for t, v in [(0.0, 0.0), (10.0, 100.0), (20.0, 110.0)]:
+            store.append("t", t, {"c_total": v})
+        mgr.evaluate(store, now=20.0)
+        assert mgr.firing()
+
+    def test_stall_fires_only_with_progress(self):
+        rule = Rule(
+            name="hv_stall", series="hv", kind="stall",
+            value=1e-4, window_s=100.0,
+            progress_series="iter", min_progress=3.0,
+        )
+        mgr, _ = manager(rule)
+        store = MetricsStore()
+        # iterations advance 5x while HV is flat -> stall
+        for i in range(6):
+            store.append(
+                "run:x", float(i * 10), {"iter": float(i), "hv": 1.0}
+            )
+        mgr.evaluate(store, now=50.0)
+        assert mgr.firing()
+
+    def test_stall_silent_when_iterations_do_not_advance(self):
+        rule = Rule(
+            name="hv_stall", series="hv", kind="stall",
+            value=1e-4, window_s=100.0,
+            progress_series="iter", min_progress=3.0,
+        )
+        mgr, _ = manager(rule)
+        store = MetricsStore()
+        for i in range(6):
+            store.append(
+                "run:x", float(i * 10), {"iter": 1.0, "hv": 1.0}
+            )
+        mgr.evaluate(store, now=50.0)
+        assert mgr.active() == []  # no work done: not a stall
+
+    def test_activation_gate_arms_only_after_traffic(self):
+        rule = Rule(
+            name="floor", series="c_total", op="<", value=0.5,
+            mode="rate", window_s=4.0, activation_window_s=100.0,
+        )
+        mgr, _ = manager(rule)
+        store = MetricsStore()
+        # idle target: counter flat at 0 since the start -> gate closed
+        for i in range(5):
+            store.append("t", float(i), {"c_total": 0.0})
+        mgr.evaluate(store, now=4.0)
+        assert mgr.active() == []
+        # traffic appears, then stops -> gate open, rule fires
+        store.append("t", 5.0, {"c_total": 50.0})
+        store.append("t", 10.0, {"c_total": 50.0})
+        store.append("t", 12.0, {"c_total": 50.0})
+        mgr.evaluate(store, now=12.0)
+        assert mgr.firing()
+
+    def test_activation_gate_arms_on_counter_born_in_window(self):
+        """Counters register lazily on the first event: a series whose
+        samples start flat at a positive value (the increase happened
+        between two scrapes) still counts as traffic."""
+        rule = Rule(
+            name="floor", series="c_total", op="<", value=0.5,
+            mode="rate", window_s=4.0, activation_window_s=100.0,
+        )
+        mgr, _ = manager(rule)
+        store = MetricsStore()
+        store.append("t", 0.0, {"c_total": 3.0})
+        store.append("t", 2.0, {"c_total": 3.0})
+        mgr.evaluate(store, now=10.0)  # rate window empty -> stopped
+        assert mgr.firing()
+
+    def test_activation_gate_stays_closed_on_flat_old_counter(self):
+        rule = Rule(
+            name="floor", series="c_total", op="<", value=0.5,
+            mode="rate", window_s=4.0, activation_window_s=10.0,
+        )
+        mgr, _ = manager(rule)
+        store = MetricsStore()
+        # born (and grew) long before the lookback, flat ever since
+        store.append("t", 0.0, {"c_total": 3.0})
+        store.append("t", 100.0, {"c_total": 3.0})
+        mgr.evaluate(store, now=100.0)
+        assert mgr.active() == []
+
+
+class TestBuiltinRules:
+    def test_shipped_rule_set(self):
+        rules = {rule.name: rule for rule in builtin_rules(2.0)}
+        assert set(rules) == {
+            "replica_down", "breaker_open", "evals_per_sec_floor",
+            "http_error_rate", "queue_depth", "hv_stall",
+        }
+        assert rules["replica_down"].targets == ("replica:*",)
+        assert rules["hv_stall"].targets == ("run:*",)
+
+    def test_replica_down_fires_and_resolves(self):
+        rules = [r for r in builtin_rules(1.0) if r.name == "replica_down"]
+        mgr, transitions = manager(*rules)
+        store = MetricsStore()
+        store.append("replica:a", 0.0, {"up": 1.0})
+        mgr.evaluate(store, now=0.0)
+        assert mgr.active() == []
+        store.append("replica:a", 1.0, {"up": 0.0})
+        mgr.evaluate(store, now=1.0)
+        assert mgr.firing()[0]["target"] == "replica:a"
+        store.append("replica:a", 2.0, {"up": 1.0})
+        mgr.evaluate(store, now=2.0)
+        store.append("replica:a", 3.0, {"up": 1.0})
+        mgr.evaluate(store, now=3.0)
+        assert mgr.active() == []
+        assert [e["state"] for e in transitions] == ["firing", "resolved"]
+
+    def test_history_is_bounded(self):
+        rule = Rule(name="r", series="g", op=">", value=0.0, window_s=10.0)
+        mgr, _ = manager(rule, history_limit=4)
+        store = MetricsStore()
+        for i in range(10):
+            t = float(2 * i)
+            store.append("t", t, {"g": 1.0 if i % 2 == 0 else -1.0})
+            mgr.evaluate(store, now=t)
+        assert len(mgr.history) <= 4

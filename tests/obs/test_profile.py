@@ -140,3 +140,56 @@ class TestRender:
     def test_render_empty_profile(self):
         text = render_profile(build_profile([]))
         assert "total" in text
+
+
+class TestZeroEngineEvalSpans:
+    """Satellite: a run that traced phases but performed no PPA
+    evaluations must render clean output (no NaN evals/s) and report
+    ``total_evals == 0`` so the CLI can say so explicitly."""
+
+    def spans(self):
+        return [
+            _span("gp_fit", "g1", "r1", 0.5, 3.0),
+            _span("run", "r1", None, 0.0, 4.0),
+        ]
+
+    def test_total_evals_zero(self):
+        profile = build_profile(self.spans())
+        assert profile.total_evals == 0
+
+    def test_total_evals_counts_engine_spans(self):
+        profile = build_profile(synthetic_tree())
+        assert profile.total_evals == 2
+
+    def test_render_has_no_nan_and_dashes_rates(self):
+        text = render_profile(build_profile(self.spans()))
+        assert "nan" not in text.lower()
+        assert "-" in text  # evals/s column shows a dash, not 0.0/NaN
+
+    def test_zero_duration_profile_renders(self):
+        # degenerate: spans exist but carry zero wall time
+        profile = build_profile([_span("run", "r1", None, 0.0, 0.0)])
+        text = render_profile(profile)
+        assert "nan" not in text.lower()
+
+    def test_cli_reports_no_spans_instead_of_rate(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.tracking import RunStore
+
+        handle = RunStore(tmp_path).create_run(
+            manifest={"status": "completed", "method": "unico"}
+        )
+        with EventJournal(handle.journal_path) as journal:
+            journal.append("span", {
+                "name": "gp_fit", "trace_id": "t", "span_id": "g1",
+                "parent_id": None, "wall_start_s": 0.0, "wall_dur_s": 1.0,
+                "sim_start_s": 0.0, "sim_dur_s": 0.0, "thread": 1,
+                "attrs": {},
+            })
+        code = main([
+            "runs", "profile", handle.run_id, "--runs-dir", str(tmp_path)
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no engine-eval spans recorded" in out
+        assert "nan" not in out.lower()

@@ -230,3 +230,70 @@ class TestParser:
         text = "# HELP q something\n\n# TYPE q counter\nq 1\n"
         families = parse_prometheus_text(text)
         assert families["q"]["samples"] == [("q", {}, 1.0)]
+
+
+class TestTypeValidation:
+    """A ``# TYPE`` declaration constrains which sample names may follow:
+    exposition drift (``TYPE x counter`` then ``x_bytes 5``) is the kind
+    of thing a lenient scraper mis-ingests silently."""
+
+    def test_counter_rejects_suffixed_sample(self):
+        with pytest.raises(ValueError, match="not a legal series"):
+            parse_prometheus_text("# TYPE q counter\nq_bytes 5\n")
+
+    def test_gauge_rejects_suffixed_sample(self):
+        with pytest.raises(ValueError, match="not a legal series"):
+            parse_prometheus_text("# TYPE g gauge\ng_total 5\n")
+
+    def test_gauge_accepts_exact_name(self):
+        families = parse_prometheus_text("# TYPE g gauge\ng 5\n")
+        assert families["g"]["type"] == "gauge"
+
+    def test_histogram_accepts_only_components(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 1\n'
+            "h_sum 0.5\n"
+            "h_count 1\n"
+        )
+        families = parse_prometheus_text(text)
+        assert {n for n, _l, _v in families["h"]["samples"]} == {
+            "h_bucket", "h_sum", "h_count"
+        }
+
+    def test_histogram_rejects_bare_family_sample(self):
+        text = (
+            "# TYPE h histogram\n"
+            "h 1\n"
+            'h_bucket{le="+Inf"} 1\n'
+            "h_sum 0.5\nh_count 1\n"
+        )
+        with pytest.raises(ValueError, match="not a legal series"):
+            parse_prometheus_text(text)
+
+    def test_summary_accepts_quantile_and_components(self):
+        text = (
+            "# TYPE s summary\n"
+            's{quantile="0.5"} 0.1\n'
+            "s_sum 0.2\n"
+            "s_count 2\n"
+        )
+        families = parse_prometheus_text(text)
+        assert families["s"]["type"] == "summary"
+
+    def test_rendered_exposition_type_lines_round_trip(self):
+        """Every family the renderer emits carries an honest TYPE line:
+        the strict parser re-ingests the whole exposition and agrees on
+        the kind of every family."""
+        text = render_prometheus(make_registry().snapshot())
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                name = line.split("{")[0].split(" ")[0]
+                base = name
+                for suffix in ("_bucket", "_sum", "_count"):
+                    if name.endswith(suffix):
+                        base = name[: -len(suffix)]
+                assert f"# TYPE {base} " in text, name
+        families = parse_prometheus_text(text)
+        assert all(f["type"] in ("counter", "histogram")
+                   for f in families.values())

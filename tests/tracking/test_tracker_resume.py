@@ -108,6 +108,38 @@ class TestJournalTracker:
             == result.extras["iteration_records"]
         )
 
+    def test_search_health_beacon_per_iteration(
+        self, tiny_network, edge_space, tmp_path
+    ):
+        """A tracked run emits one ``search_health`` event per iteration
+        with a monotone hypervolume series — the signal the hub's
+        telemetry pipeline tails into ``run:<id>`` metrics and the
+        ``hv_stall`` alert rule watches."""
+        store = RunStore(tmp_path / "runs")
+        run = store.create_run(dict(MANIFEST))
+        unico = _fresh_unico(
+            tiny_network, edge_space, tracker=JournalTracker(run),
+            max_iterations=3,
+        )
+        unico.optimize()
+        scan = read_events(run.journal_path)
+        health = [e for e in scan.events if e["type"] == "search_health"]
+        assert [e["iteration"] for e in health] == [0, 1, 2]
+        hv = [e["hypervolume"] for e in health]
+        assert all(b >= a for a, b in zip(hv, hv[1:]))  # frozen reference
+        for event in health:
+            assert event["pareto_size"] >= 1
+            assert event["engine_queries"] > 0
+            assert event["evaluations"] > 0
+            assert event["time_s"] >= 0.0
+
+    def test_untracked_run_emits_no_search_health(
+        self, tiny_network, edge_space
+    ):
+        unico = _fresh_unico(tiny_network, edge_space, tracker=NullTracker())
+        unico.optimize()  # must not raise, and pays no beacon cost
+        assert not hasattr(unico, "_hv_reference")
+
     def test_evaluation_events_record_batch_membership(
         self, tiny_network, edge_space, tmp_path
     ):
